@@ -1,0 +1,332 @@
+package iotaxo_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the ablations called out in DESIGN.md and micro-benchmarks of the
+// hot library paths. Benchmarks run heavily scaled-down configurations so
+// `go test -bench=. -benchmem` completes quickly; the key experimental
+// quantity of each benchmark is exposed via b.ReportMetric, and
+// cmd/tracebench regenerates the full tables.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/core"
+	"iotaxo/internal/disk"
+	"iotaxo/internal/harness"
+	"iotaxo/internal/interpose"
+	"iotaxo/internal/lanltrace"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/partrace"
+	"iotaxo/internal/replay"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+	"iotaxo/internal/tracefs"
+	"iotaxo/internal/workload"
+)
+
+// benchOptions is the smallest configuration that still exhibits the
+// paper's overhead shapes.
+func benchOptions() harness.Options {
+	return harness.Options{
+		Ranks:        4,
+		PerRankBytes: 1 << 20,
+		BlockSizes:   []int64{64 << 10, 1 << 20},
+		Seed:         1,
+		Mode:         lanltrace.ModeLtrace,
+	}
+}
+
+// --- FIG1: sample outputs ---
+
+func BenchmarkFigure1_SampleOutputs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := harness.Figure1(benchOptions())
+		if !strings.Contains(out.Raw, "SYS_pwrite") {
+			b.Fatal("figure 1 raw output malformed")
+		}
+	}
+}
+
+// --- FIG2/FIG3/FIG4: bandwidth vs block size, traced vs untraced ---
+
+func benchFigure(b *testing.B, fig func(harness.Options) harness.FigureResult) {
+	var lastOvh float64
+	for i := 0; i < b.N; i++ {
+		res := fig(benchOptions())
+		lastOvh = res.Points[0].BandwidthOvhFrac
+	}
+	b.ReportMetric(lastOvh*100, "ovh64KB_%")
+}
+
+func BenchmarkFigure2_N1Strided(b *testing.B)    { benchFigure(b, harness.Figure2) }
+func BenchmarkFigure3_N1NonStrided(b *testing.B) { benchFigure(b, harness.Figure3) }
+func BenchmarkFigure4_NN(b *testing.B)           { benchFigure(b, harness.Figure4) }
+
+// --- TAB1/TAB2: taxonomy tables ---
+
+func BenchmarkTable1_Template(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(core.Table1Template()) == 0 {
+			b.Fatal("empty template")
+		}
+	}
+}
+
+func BenchmarkTable2_Summary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !strings.Contains(core.PaperTable2(), "//TRACE") {
+			b.Fatal("table 2 malformed")
+		}
+	}
+}
+
+// --- TXT-OV: in-text bandwidth overhead table ---
+
+func BenchmarkInTextOverheadTable(b *testing.B) {
+	o := benchOptions()
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		res := harness.InTextOverheads(o)
+		small = res.Cells[0].BwOvhFrac
+		large = res.Cells[1].BwOvhFrac
+	}
+	b.ReportMetric(small*100, "ovh64KB_%")
+	b.ReportMetric(large*100, "ovh8MB_%")
+}
+
+// --- TXT-ELAPSED: elapsed-time overhead range ---
+
+func BenchmarkElapsedTimeRange(b *testing.B) {
+	o := benchOptions()
+	var mn, mx float64
+	for i := 0; i < b.N; i++ {
+		res := harness.ElapsedRange(o)
+		mn, mx = res.Min, res.Max
+	}
+	b.ReportMetric(mn*100, "min_%")
+	b.ReportMetric(mx*100, "max_%")
+}
+
+// --- TXT-TRACEFS: Tracefs overhead and feature ablation ---
+
+func BenchmarkTracefsOverhead(b *testing.B) {
+	o := benchOptions()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = harness.TracefsExperiment(o).MaxOverhead()
+	}
+	b.ReportMetric(worst*100, "worst_%")
+}
+
+func BenchmarkTracefsFeatureAblation(b *testing.B) {
+	// Isolated ablation: the marginal cost of each output-pipeline feature
+	// on a fixed stream of records, without the workload around it.
+	recs := make([]trace.Record, 256)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Name: "VFS_write", Path: "/work/f001", Offset: int64(i) * 8192,
+			Bytes: 8192, Args: []string{`"/work/f001"`, "0", "8192"},
+		}
+	}
+	for _, cfg := range []struct {
+		name     string
+		compress bool
+	}{{"plain", false}, {"compressed", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var buf bytes.Buffer
+				w := trace.NewBinaryWriter(&buf, trace.BinaryOptions{Compress: cfg.compress})
+				for j := range recs {
+					w.Write(&recs[j])
+				}
+				w.Close()
+			}
+		})
+	}
+}
+
+// --- TXT-PTRACE: //TRACE fidelity/overhead frontier ---
+
+func BenchmarkParallelTraceFidelity(b *testing.B) {
+	factory := func() *cluster.Cluster {
+		cfg := cluster.Default()
+		cfg.ComputeNodes = 4
+		return cluster.New(cfg)
+	}
+	params := workload.Params{
+		Pattern: workload.N1Strided, BlockSize: 128 << 10, NObj: 4,
+		Path: "/pfs/bench.out", BarrierEvery: 2,
+	}
+	program := func(p *sim.Proc, r *mpi.Rank) { workload.Program(p, r, params, nil) }
+	var fid float64
+	for i := 0; i < b.N; i++ {
+		cfg := partrace.DefaultConfig()
+		cfg.SampledRanks = 4
+		gen, err := partrace.New(cfg).Generate(factory, program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := replay.Execute(factory(), gen.Trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fid = replay.Fidelity(gen.Trace.OriginalElapsed, res.Elapsed)
+	}
+	b.ReportMetric(fid*100, "fidelity_err_%")
+}
+
+// --- Ablations from DESIGN.md ---
+
+// BenchmarkAblationZeroCostHooks shows the overhead curves collapse when
+// per-event interposition charges are removed: the design decision behind
+// the paper's inverse-blocksize overhead law.
+func BenchmarkAblationZeroCostHooks(b *testing.B) {
+	run := func(model interpose.CostModel) sim.Duration {
+		cfg := cluster.Default()
+		cfg.ComputeNodes = 4
+		c := cluster.New(cfg)
+		fw := lanltrace.New(lanltrace.Config{
+			Mode:         lanltrace.ModeLtrace,
+			SyscallModel: model,
+			LibModel:     model,
+		})
+		params := workload.Params{
+			Pattern: workload.N1Strided, BlockSize: 64 << 10, NObj: 8,
+			Path: "/pfs/abl.out",
+		}
+		rep := fw.Run(c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
+			workload.Program(p, r, params, nil)
+		})
+		return rep.Elapsed
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		full := run(interpose.LtraceBreakpoint())
+		zero := run(interpose.Zero())
+		ratio = float64(full) / float64(zero)
+		if ratio <= 1 {
+			b.Fatal("zero-cost hooks did not collapse the overhead")
+		}
+	}
+	b.ReportMetric(ratio, "traced/zero_ratio")
+}
+
+// BenchmarkAblationRAIDSmallWrite quantifies the read-modify-write penalty
+// behind the low-blocksize bandwidth droop.
+func BenchmarkAblationRAIDSmallWrite(b *testing.B) {
+	run := func(disable bool) sim.Duration {
+		env := sim.NewEnv(1)
+		cfg := disk.DefaultArray()
+		cfg.DisableSmallWritePenalty = disable
+		a := disk.NewArray(env, cfg)
+		var elapsed sim.Duration
+		env.Go("w", func(p *sim.Proc) {
+			start := p.Now()
+			for i := int64(0); i < 64; i++ {
+				if err := a.Write(p, i*4096, 4096); err != nil {
+					b.Error(err)
+				}
+			}
+			elapsed = p.Now() - start
+		})
+		env.Run()
+		return elapsed
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		ratio = float64(with) / float64(without)
+	}
+	b.ReportMetric(ratio, "rmw_penalty_ratio")
+}
+
+// --- Micro-benchmarks of the hot library paths ---
+
+func BenchmarkSimKernelEvents(b *testing.B) {
+	env := sim.NewEnv(1)
+	n := 0
+	var schedule func()
+	schedule = func() {
+		n++
+		if n < b.N {
+			env.After(1, schedule)
+		}
+	}
+	b.ResetTimer()
+	env.After(1, schedule)
+	env.Run()
+}
+
+func BenchmarkSimProcessSwitch(b *testing.B) {
+	env := sim.NewEnv(1)
+	env.Go("switcher", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+func BenchmarkBinaryTraceEncode(b *testing.B) {
+	rec := trace.Record{
+		Name: "SYS_pwrite", Node: "host13.lanl.gov", Rank: 7, PID: 10378,
+		Args: []string{"3", "65536", "32768"}, Ret: "32768",
+		Path: "/pfs/mpi_io_test.out", Offset: 65536, Bytes: 32768,
+	}
+	var buf bytes.Buffer
+	w := trace.NewBinaryWriter(&buf, trace.BinaryOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	b.SetBytes(int64(buf.Len()) / int64(b.N))
+}
+
+func BenchmarkTextTraceParse(b *testing.B) {
+	line := "# node=n rank=0 pid=1\n10:59:47.105818 SYS_open(\"/etc/hosts\", 0, 0666) = 3 <0.000034>\n"
+	b.SetBytes(int64(len(line)))
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.NewTextReader(strings.NewReader(line)).ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := tracefs.MustCompileFilter(`op in {read, write} && path ~ "/pfs/*" && bytes >= 4096`)
+	rec := trace.Record{Name: "VFS_write", Path: "/pfs/data/x", Bytes: 8192}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Match(&rec) {
+			b.Fatal("filter should match")
+		}
+	}
+}
+
+// BenchmarkCollectiveIOAblation reports the two-phase-I/O speedup at
+// sub-stripe block size (the RAID-5 RMW-avoidance win).
+func BenchmarkCollectiveIOAblation(b *testing.B) {
+	run := func(collective bool) float64 {
+		cfg := cluster.Default()
+		cfg.ComputeNodes = 4
+		c := cluster.New(cfg)
+		res := workload.Run(c.World, workload.Params{
+			Pattern: workload.N1Strided, BlockSize: 8 << 10, NObj: 16,
+			Path: "/pfs/coll", Collective: collective,
+		})
+		return res.BandwidthBps()
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		speedup = run(true) / run(false)
+	}
+	b.ReportMetric(speedup, "collective_speedup_x")
+}

@@ -1,0 +1,89 @@
+// Command iotaxo prints the paper's taxonomy tables: the Table 1 template,
+// the built-in Table 2 classification of LANL-Trace, Tracefs and //TRACE,
+// single-framework cards, and (with -measured) Table 2 with overheads
+// re-measured on the simulated cluster.
+//
+// Usage:
+//
+//	iotaxo -table template
+//	iotaxo -table summary -format markdown
+//	iotaxo -table card -framework Tracefs
+//	iotaxo -table summary -measured
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/harness"
+	"iotaxo/internal/multilayer"
+	"iotaxo/internal/pathtrace"
+)
+
+func main() {
+	table := flag.String("table", "summary", "which table: template | summary | extended | card")
+	format := flag.String("format", "text", "output format: text | markdown | csv")
+	framework := flag.String("framework", "LANL-Trace", "framework name for -table card")
+	measured := flag.Bool("measured", false, "re-measure overheads on the simulated cluster (slow)")
+	flag.Parse()
+
+	switch *table {
+	case "template":
+		fmt.Print(core.Table1Template())
+	case "card":
+		c := findClassification(*framework)
+		if c == nil {
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown framework %q (have LANL-Trace, Tracefs, //TRACE)\n", *framework)
+			os.Exit(2)
+		}
+		fmt.Print(core.RenderCard(c))
+	case "extended":
+		// The future-work "global taxonomy": the three surveyed frameworks
+		// plus the two frameworks Section 6 names next — multi-layer trace
+		// analysis [6] and path-based event tracing [8].
+		cs := append(core.AllPaperClassifications(),
+			multilayer.Classification(), pathtrace.Classification())
+		fmt.Print(core.RenderComparison(cs...))
+	case "summary":
+		if *measured {
+			o := harness.QuickOptions()
+			fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
+			fmt.Print(harness.Table2Measured(
+				harness.ElapsedRange(o),
+				harness.TracefsExperiment(o),
+				harness.ParallelTraceExperiment(o),
+			))
+			return
+		}
+		cs := core.AllPaperClassifications()
+		switch *format {
+		case "text":
+			fmt.Print(core.RenderComparison(cs...))
+		case "markdown":
+			fmt.Print(core.RenderMarkdown(cs...))
+		case "csv":
+			fmt.Print(core.RenderCSV(cs...))
+		default:
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "iotaxo: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func findClassification(name string) *core.Classification {
+	all := append(core.AllPaperClassifications(),
+		multilayer.Classification(), pathtrace.Classification())
+	for _, c := range all {
+		if strings.EqualFold(c.Name, name) ||
+			strings.EqualFold(strings.Fields(c.Name)[0], name) {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command tracebench regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed.
+//
+// Usage:
+//
+//	tracebench                  # everything, scaled-down sizes
+//	tracebench -exp fig2        # one experiment
+//	tracebench -exp fig2 -csv   # CSV series for plotting
+//	tracebench -full            # paper-scale data volumes (slow)
+//
+// Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace table1
+// table2 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/harness"
+	"iotaxo/internal/lanltrace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, table1, table2, all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables (figures only)")
+	full := flag.Bool("full", false, "paper-scale data volumes (very slow)")
+	quick := flag.Bool("quick", false, "tiny volumes (CI-friendly)")
+	ranks := flag.Int("ranks", 0, "override rank count")
+	mode := flag.String("mode", "ltrace", "LANL-Trace mode for overhead runs: strace | ltrace")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	if *full {
+		o = harness.FullOptions()
+	}
+	if *quick {
+		o = harness.QuickOptions()
+	}
+	if *ranks > 0 {
+		o.Ranks = *ranks
+	}
+	if *mode == "strace" {
+		o.Mode = lanltrace.ModeStrace
+	}
+	o.Seed = *seed
+
+	run := func(id string) {
+		switch id {
+		case "fig1":
+			f1 := harness.Figure1(o)
+			fmt.Println("# Figure 1: LANL-Trace sample outputs")
+			fmt.Println("\n## Raw Trace Data (rank 0, first lines)")
+			fmt.Print(f1.Raw)
+			fmt.Println("\n## Aggregate Timing Information")
+			fmt.Print(f1.Timing)
+			fmt.Println("\n## Call Summary")
+			fmt.Print(f1.Summary)
+		case "fig2":
+			emitFigure(harness.Figure2(o), *csv)
+		case "fig3":
+			emitFigure(harness.Figure3(o), *csv)
+		case "fig4":
+			emitFigure(harness.Figure4(o), *csv)
+		case "overheads":
+			fmt.Print(harness.InTextOverheads(o).Format())
+		case "elapsed":
+			fmt.Print(harness.ElapsedRange(o).Format())
+		case "tracefs":
+			fmt.Print(harness.TracefsExperiment(o).Format())
+		case "ptrace":
+			fmt.Print(harness.ParallelTraceExperiment(o).Format())
+		case "collective":
+			fmt.Print(harness.CollectiveAblation(o).Format())
+		case "table1":
+			fmt.Println("# Table 1: summary table template")
+			fmt.Print(core.Table1Template())
+		case "table2":
+			fmt.Println("# Table 2: classification summary (paper values + measured overheads)")
+			fmt.Print(harness.Table2Measured(
+				harness.ElapsedRange(o),
+				harness.TracefsExperiment(o),
+				harness.ParallelTraceExperiment(o),
+			))
+		default:
+			fmt.Fprintf(os.Stderr, "tracebench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "table2"} {
+			fmt.Printf("\n%s\n", strings.Repeat("=", 78))
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func emitFigure(fig harness.FigureResult, csv bool) {
+	if csv {
+		fmt.Print(fig.CSV())
+		return
+	}
+	fmt.Print(fig.Format())
+}

@@ -1,0 +1,161 @@
+// Command traceconv inspects and converts trace files between the two
+// formats the taxonomy distinguishes, and runs anonymization passes over
+// them — the workflow behind LANL's anonymized trace releases.
+//
+// Usage:
+//
+//	traceconv -in raw.trace -stats
+//	traceconv -in raw.trace -to binary -out trace.bin -compress
+//	traceconv -in trace.bin -to text -out back.trace
+//	traceconv -in raw.trace -anonymize path,uid,gid -mode randomize -out anon.trace
+//	traceconv -in raw.trace -anonymize path -mode encrypt -key 0123456789abcdef -out enc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iotaxo/internal/analysis"
+	"iotaxo/internal/anonymize"
+	"iotaxo/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file (text or binary, auto-detected)")
+	out := flag.String("out", "", "output file (default stdout)")
+	to := flag.String("to", "", "convert to format: text | binary")
+	compress := flag.Bool("compress", false, "compress binary output")
+	stats := flag.Bool("stats", false, "print a call summary and I/O statistics")
+	anonSpec := flag.String("anonymize", "", "fields to anonymize (e.g. path,uid,gid or all)")
+	mode := flag.String("mode", "randomize", "anonymization mode: randomize | encrypt")
+	key := flag.String("key", "", "AES key for -mode encrypt (16/24/32 bytes)")
+	salt := flag.String("salt", "iotaxo", "salt for -mode randomize")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceconv: -in is required")
+		os.Exit(2)
+	}
+	recs, wasBinary, err := readTrace(*in)
+	if err != nil {
+		fail(err)
+	}
+
+	anonymized := false
+	if *anonSpec != "" {
+		spec, err := anonymize.ParseSpec(*anonSpec)
+		if err != nil {
+			fail(err)
+		}
+		var a anonymize.Anonymizer
+		switch *mode {
+		case "randomize":
+			a = anonymize.NewRandomizer(spec, []byte(*salt))
+		case "encrypt":
+			if *key == "" {
+				fail(fmt.Errorf("-mode encrypt requires -key"))
+			}
+			enc, err := anonymize.NewEncryptor(spec, []byte(*key))
+			if err != nil {
+				fail(err)
+			}
+			a = enc
+		default:
+			fail(fmt.Errorf("unknown -mode %q", *mode))
+		}
+		recs = anonymize.Records(recs, a)
+		anonymized = true
+	}
+
+	if *stats {
+		fmt.Printf("# %d records (%s input)\n", len(recs), formatName(wasBinary))
+		fmt.Print(analysis.Summarize(recs).Format())
+		st := analysis.ComputeIOStats(recs)
+		fmt.Printf("# I/O: %d calls, %d bytes (%d read / %d written), %d distinct paths\n",
+			st.Calls, st.Bytes, st.ReadBytes, st.WriteBytes, len(st.DistinctPath))
+		if *to == "" && *anonSpec == "" {
+			return
+		}
+	}
+
+	target := *to
+	if target == "" {
+		if *anonSpec == "" {
+			return
+		}
+		target = formatName(wasBinary) // keep input format
+	}
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer closeFn()
+	switch target {
+	case "text":
+		if err := writeText(w, recs); err != nil {
+			fail(err)
+		}
+	case "binary":
+		bw := trace.NewBinaryWriter(w, trace.BinaryOptions{Compress: *compress, Anonymized: anonymized})
+		for i := range recs {
+			if err := bw.Write(&recs[i]); err != nil {
+				fail(err)
+			}
+		}
+		if err := bw.Close(); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown -to format %q", target))
+	}
+}
+
+// readTrace auto-detects the input format by magic bytes.
+func readTrace(path string) ([]trace.Record, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	recs, format, err := trace.ReadAuto(f)
+	return recs, format == trace.FormatBinary, err
+}
+
+func writeText(w io.Writer, recs []trace.Record) error {
+	node, rank, pid := "", -1, 0
+	if len(recs) > 0 {
+		node, rank, pid = recs[0].Node, recs[0].Rank, recs[0].PID
+	}
+	tw := trace.NewTextWriter(w, node, rank, pid)
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func formatName(binary bool) string {
+	if binary {
+		return "binary"
+	}
+	return "text"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}

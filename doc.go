@@ -1,0 +1,17 @@
+// Package iotaxo is a full reproduction of "Towards an I/O Tracing
+// Framework Taxonomy" (Konwinski, Bent, Nunez, Quist; Supercomputing 2007)
+// as a Go library.
+//
+// The paper's contribution — a taxonomy for classifying I/O tracing
+// frameworks — lives in internal/core. The three surveyed frameworks
+// (LANL-Trace, Tracefs, //TRACE) are reimplemented against a deterministic
+// discrete-event simulation of the paper's testbed: a 32-node cluster with
+// gigabit Ethernet, per-node clocks with skew and drift, a Linux-like
+// kernel/VFS layer, an MPI + MPI-IO library, and a RAID-5 parallel file
+// system with 252 drives and 64 KB stripes.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The root-level benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation section.
+package iotaxo

@@ -1,0 +1,97 @@
+// Anonymizedrelease: the trace-publication workflow the paper's
+// anonymization axis exists for ("Often traces are collected for
+// distribution, such as recently published traces by LANL. In such cases,
+// it is often desirable to anonymize personal or sensitive data.")
+//
+// The pipeline: trace an I/O-intensive job with Tracefs (binary output with
+// CBC field encryption), then produce a public release with the true
+// randomizer, and verify no sensitive identifier survives — while showing
+// that the encrypted variant is still reversible with the key, the reason
+// the paper rates Tracefs "Advanced" rather than "Very advanced".
+package main
+
+import (
+	"fmt"
+
+	"iotaxo/internal/anonymize"
+	"iotaxo/internal/clocks"
+	"iotaxo/internal/disk"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/tracefs"
+	"iotaxo/internal/vfs"
+)
+
+func main() {
+	env := sim.NewEnv(1)
+	lower := vfs.NewMemFS(env, "ext3", disk.DefaultDisk())
+
+	// Mount Tracefs with CBC encryption of path/uid/gid, as its kernel
+	// module offers.
+	key := []byte("0123456789abcdef")
+	spec, _ := anonymize.ParseSpec("path,uid,gid")
+	cfg := tracefs.DefaultConfig()
+	cfg.Encrypt = true
+	cfg.Key = key
+	cfg.EncryptSpec = spec
+	cfg.Compress = true
+	tfs, err := tracefs.Mount(lower, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	k := vfs.NewKernel(env, "node1", clocks.New(0, 0), vfs.DefaultKernelConfig())
+	k.Mount("/", tfs)
+	pc := k.Spawn(vfs.Cred{UID: 4711, GID: 812, User: "secretuser"})
+
+	// The sensitive workload.
+	env.Go("app", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			path := fmt.Sprintf("/projects/weapons-sim/run%02d.dat", i)
+			fd, err := pc.Open(p, path, vfs.OCreate|vfs.OWronly, 0o600)
+			if err != nil {
+				panic(err)
+			}
+			for j := 0; j < 8; j++ {
+				pc.PWrite(p, fd, int64(j)*8192, 8192)
+			}
+			pc.Close(p, fd)
+		}
+	})
+	env.Run()
+
+	recs, err := tfs.TraceRecords()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("captured %d VFS records, %d bytes of compressed+encrypted binary trace\n",
+		len(recs), tfs.OutputBytes())
+
+	sensitive := []string{"weapons", "projects", "secretuser"}
+	fmt.Printf("sensitive text visible in encrypted trace: %v\n",
+		anonymize.ContainsAny(recs, sensitive))
+
+	// Tracefs encryption is reversible with the key — the paper's caveat.
+	dec, _ := anonymize.NewEncryptor(spec, key)
+	recovered, err := dec.DecryptValue(recs[0].Path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("key holder recovers record 0 path: %q\n", recovered)
+
+	// For a public release, apply true anonymization: consistent random
+	// pseudonyms with a salt that is then discarded.
+	public := anonymize.Records(recs, anonymize.NewRandomizer(spec, []byte("release-salt-2007")))
+	fmt.Printf("\npublic release after randomization: %d records\n", len(public))
+	fmt.Printf("sensitive text visible: %v\n", anonymize.ContainsAny(public, sensitive))
+	fmt.Printf("record 0 path -> %q (structure preserved, content gone)\n", public[0].Path)
+
+	// Consistency survives, so access-pattern analysis still works: all
+	// writes to the same original file share one pseudonym.
+	paths := map[string]int{}
+	for _, r := range public {
+		if r.Name == "VFS_write" {
+			paths[r.Path]++
+		}
+	}
+	fmt.Printf("distinct pseudonymous files with writes: %d (expected 4)\n", len(paths))
+}

@@ -1,0 +1,119 @@
+// Pathanalysis: the paper's future work, realized. Section 6 proposes (a)
+// extending the taxonomy to "path based event tracing in distributed
+// applications" and (b) "a common framework for diverse trace aggregation
+// ... a single trace-data API".
+//
+// This example runs a coordinator/worker application that is traced THREE
+// ways at once — LANL-Trace at the syscall/library boundary, X-Trace-style
+// path tracing inside the application, and //TRACE-style replayable ops —
+// then aggregates all of them through the single trace-data API and asks
+// cross-framework questions none of them can answer alone.
+package main
+
+import (
+	"fmt"
+
+	"iotaxo/internal/aggregate"
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/core"
+	"iotaxo/internal/lanltrace"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/pathtrace"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+func main() {
+	cfg := cluster.Small()
+	c := cluster.New(cfg)
+	pt := pathtrace.NewTracer()
+
+	// The application: rank 0 dispatches work to every other rank; each
+	// worker checkpoints to the parallel file system and replies. Path
+	// baggage rides inside the MPI payloads.
+	app := func(p *sim.Proc, r *mpi.Rank) {
+		size := r.CommSize(p)
+		if r.RankID() == 0 {
+			ctx := pt.StartTask(p, r.Node(), 0, "job-start")
+			var replies []pathtrace.Baggage
+			for w := 1; w < size; w++ {
+				r.SendData(p, w, 100, 2048, ctx.Baggage(p, fmt.Sprintf("dispatch->%d", w)))
+			}
+			for w := 1; w < size; w++ {
+				_, raw := r.RecvData(p, w, 200)
+				replies = append(replies, raw.(pathtrace.Baggage))
+			}
+			ctx.Merge(p, "job-complete", replies...)
+			return
+		}
+		_, raw := r.RecvData(p, 0, 100)
+		ctx := pt.Join(p, raw.(pathtrace.Baggage), r.Node(), r.RankID(), "worker-start")
+		f, err := r.FileOpen(p, fmt.Sprintf("/pfs/part.%d", r.RankID()), mpi.ModeCreate|mpi.ModeWronly)
+		if err != nil {
+			panic(err)
+		}
+		f.WriteAt(p, 0, 512<<10)
+		f.Close(p)
+		ctx.Record(p, "checkpoint-written")
+		r.SendData(p, 0, 200, 64, ctx.Baggage(p, "reply"))
+	}
+
+	// Trace it with LANL-Trace while the path tracer runs inside.
+	fw := lanltrace.New(lanltrace.StraceConfig())
+	rep := fw.Run(c.World, "/job.exe", app)
+
+	// The causal path view.
+	fmt.Println("=== Path-based causal view (X-Trace style) ===")
+	g := pt.Graph(1)
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Print(g.Format())
+	fmt.Println("critical path:")
+	for _, e := range g.CriticalPath() {
+		fmt.Printf("  %v  rank %d  %s\n", e.Time, e.Rank, e.Label)
+	}
+
+	// The single trace-data API over both frameworks.
+	fmt.Println("\n=== Aggregated through the single trace-data API ===")
+	agg := aggregate.New(aggregate.FromLANLTrace(rep))
+	// Path events adapt through the generic record source.
+	var pathRecs []trace.Record
+	for _, e := range pt.Events() {
+		pathRecs = append(pathRecs, trace.Record{
+			Time: e.Time, Node: e.Node, Rank: e.Rank,
+			Class: trace.ClassLibCall, Name: "PATH_" + e.Label, Ret: "0",
+		})
+	}
+	agg.Add(aggregate.FromRecords("PathTrace", pathRecs, aggregate.Capabilities{
+		EventClasses: []trace.EventClass{trace.ClassLibCall},
+	}))
+
+	sums, err := agg.Summarize()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(aggregate.FormatSummaries(sums))
+
+	// A cross-framework query: all I/O that happened on the critical path
+	// worker (the rank whose reply arrived last).
+	cp := g.CriticalPath()
+	slowest := -1
+	for _, e := range cp {
+		if e.Rank > 0 {
+			slowest = e.Rank
+		}
+	}
+	events, err := agg.Select(aggregate.Query{Rank: slowest, OnlyIO: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nI/O on the critical-path worker (rank %d): %d operations\n", slowest, len(events))
+	for _, e := range events {
+		fmt.Printf("  [%s] %s %s %d bytes\n", e.Source, e.Name, e.Path, e.Bytes)
+	}
+
+	// And the taxonomy card for the path tracer, as the future work asks.
+	fmt.Println("\n=== PathTrace in the extended taxonomy ===")
+	fmt.Print(core.RenderCard(pathtrace.Classification()))
+}

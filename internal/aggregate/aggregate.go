@@ -1,0 +1,352 @@
+// Package aggregate implements the paper's future-work proposal (Section 6):
+// "We intend to build a common framework for diverse trace aggregation.
+// With such a framework, we would be able to present a single trace-data
+// API to developers for use while building trace analysis tools or for use
+// directly in distributed applications."
+//
+// Source is that single trace-data API: every tracing framework in the
+// repository exposes its data through an adapter, and Aggregator merges any
+// mix of sources onto one timeline (applying per-node clock correction when
+// the source supports it) with provenance preserved, queryable by event
+// class, path glob, rank and time window.
+package aggregate
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"iotaxo/internal/analysis"
+	"iotaxo/internal/clocks"
+	"iotaxo/internal/lanltrace"
+	"iotaxo/internal/replay"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+	"iotaxo/internal/tracefs"
+)
+
+// Capabilities describes what a source's data can support, mirroring the
+// taxonomy axes that matter to analysis tools.
+type Capabilities struct {
+	EventClasses  []trace.EventClass
+	SkewCorrected bool // timestamps mapped onto a shared timeline
+	Replayable    bool
+}
+
+// Source is the single trace-data API.
+type Source interface {
+	// Name identifies the producing framework.
+	Name() string
+	// Records returns the source's events. Implementations return copies;
+	// callers may mutate the result.
+	Records() ([]trace.Record, error)
+	// Capabilities describes the data.
+	Capabilities() Capabilities
+}
+
+// Event is one record with provenance.
+type Event struct {
+	trace.Record
+	Source string
+}
+
+// --- adapters ---
+
+// recordsSource is the generic adapter.
+type recordsSource struct {
+	name string
+	caps Capabilities
+	get  func() ([]trace.Record, error)
+}
+
+func (s *recordsSource) Name() string               { return s.name }
+func (s *recordsSource) Capabilities() Capabilities { return s.caps }
+func (s *recordsSource) Records() ([]trace.Record, error) {
+	recs, err := s.get()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Record, len(recs))
+	for i := range recs {
+		out[i] = recs[i].Clone()
+	}
+	return out, nil
+}
+
+// FromRecords wraps a plain record slice (e.g. parsed from a file).
+func FromRecords(name string, recs []trace.Record, caps Capabilities) Source {
+	return &recordsSource{
+		name: name,
+		caps: caps,
+		get:  func() ([]trace.Record, error) { return recs, nil },
+	}
+}
+
+// FromLANLTrace adapts a LANL-Trace report. Skew correction uses the
+// report's own barrier timing job; records are mapped onto rank 0's clock —
+// the analysis the aggregate timing output exists for.
+func FromLANLTrace(rep *lanltrace.Report) Source {
+	caps := Capabilities{
+		EventClasses:  []trace.EventClass{trace.ClassSyscall, trace.ClassLibCall, trace.ClassMPI},
+		SkewCorrected: true,
+	}
+	return &recordsSource{
+		name: "LANL-Trace",
+		caps: caps,
+		get: func() ([]trace.Record, error) {
+			est, err := rep.ClockEstimates()
+			if err != nil {
+				// No timing job: fall back to raw local timestamps.
+				return rep.AllRecords(), nil
+			}
+			return analysis.CorrectTimeline(rep.AllRecords(), est), nil
+		},
+	}
+}
+
+// FromTracefs adapts a mounted Tracefs layer. Tracefs has no parallel
+// awareness, so records stay on the node's local clock; node labels the
+// records since the layer itself does not know its host.
+func FromTracefs(fs *tracefs.FS, node string, clock *clocks.Clock) Source {
+	return &recordsSource{
+		name: "Tracefs",
+		caps: Capabilities{
+			EventClasses: []trace.EventClass{trace.ClassFSOp},
+		},
+		get: func() ([]trace.Record, error) {
+			recs, err := fs.TraceRecords()
+			if err != nil {
+				return nil, err
+			}
+			for i := range recs {
+				if recs[i].Node == "" {
+					recs[i].Node = node
+				}
+			}
+			return recs, nil
+		},
+	}
+}
+
+// FromReplayable adapts a //TRACE replayable trace: each op becomes an MPI
+// I/O record with timestamps reconstructed from the cumulative think times
+// (the best the format carries).
+func FromReplayable(tr *replay.Trace) Source {
+	return &recordsSource{
+		name: "//TRACE",
+		caps: Capabilities{
+			EventClasses: []trace.EventClass{trace.ClassMPI},
+			Replayable:   true,
+		},
+		get: func() ([]trace.Record, error) {
+			var out []trace.Record
+			for rank, ops := range tr.Ops {
+				var t sim.Time
+				for _, op := range ops {
+					t += op.Compute
+					name := ""
+					switch op.Kind {
+					case replay.OpOpen:
+						name = "MPI_File_open"
+					case replay.OpWrite:
+						name = "MPI_File_write_at"
+					case replay.OpRead:
+						name = "MPI_File_read_at"
+					case replay.OpClose:
+						name = "MPI_File_close"
+					}
+					out = append(out, trace.Record{
+						Time:   t,
+						Rank:   rank,
+						Class:  trace.ClassMPI,
+						Name:   name,
+						Path:   op.Path,
+						Offset: op.Offset,
+						Bytes:  op.Bytes,
+						Ret:    "0",
+					})
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// --- the aggregator ---
+
+// Aggregator merges sources.
+type Aggregator struct {
+	sources []Source
+}
+
+// New returns an aggregator over the given sources.
+func New(sources ...Source) *Aggregator {
+	return &Aggregator{sources: sources}
+}
+
+// Add appends a source.
+func (a *Aggregator) Add(s Source) { a.sources = append(a.sources, s) }
+
+// Sources lists source names in order.
+func (a *Aggregator) Sources() []string {
+	out := make([]string, len(a.sources))
+	for i, s := range a.sources {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Merged returns all events ordered by timestamp with provenance.
+func (a *Aggregator) Merged() ([]Event, error) {
+	var out []Event
+	for _, s := range a.sources {
+		recs, err := s.Records()
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: source %s: %w", s.Name(), err)
+		}
+		for i := range recs {
+			out = append(out, Event{Record: recs[i], Source: s.Name()})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
+
+// Query selects events. Zero values mean "any".
+type Query struct {
+	Classes  []trace.EventClass
+	PathGlob string
+	Rank     int // -1 = any
+	From, To sim.Time
+	OnlyIO   bool
+	Source   string
+}
+
+// matches reports whether an event satisfies the query.
+func (q Query) matches(e *Event) bool {
+	if len(q.Classes) > 0 {
+		ok := false
+		for _, c := range q.Classes {
+			if e.Class == c {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.PathGlob != "" {
+		ok, _ := path.Match(q.PathGlob, e.Path)
+		if !ok && strings.HasSuffix(q.PathGlob, "/*") {
+			ok = strings.HasPrefix(e.Path, strings.TrimSuffix(q.PathGlob, "*"))
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.Rank >= 0 && e.Rank != q.Rank {
+		return false
+	}
+	if q.From != 0 && e.Time < q.From {
+		return false
+	}
+	if q.To != 0 && e.Time >= q.To {
+		return false
+	}
+	if q.OnlyIO && !e.IsIO() {
+		return false
+	}
+	if q.Source != "" && e.Source != q.Source {
+		return false
+	}
+	return true
+}
+
+// Select returns the matching events in timestamp order.
+func (a *Aggregator) Select(q Query) ([]Event, error) {
+	all, err := a.Merged()
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for i := range all {
+		if q.matches(&all[i]) {
+			out = append(out, all[i])
+		}
+	}
+	return out, nil
+}
+
+// Summary aggregates per-source statistics: the quick health check an
+// analysis tool runs before digging in.
+type Summary struct {
+	Source  string
+	Records int
+	IOBytes int64
+	First   sim.Time
+	Last    sim.Time
+	Classes map[trace.EventClass]int
+}
+
+// Summarize reports per-source statistics.
+func (a *Aggregator) Summarize() ([]Summary, error) {
+	var out []Summary
+	for _, s := range a.sources {
+		recs, err := s.Records()
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: source %s: %w", s.Name(), err)
+		}
+		sum := Summary{Source: s.Name(), Classes: make(map[trace.EventClass]int)}
+		for i := range recs {
+			r := &recs[i]
+			sum.Records++
+			sum.Classes[r.Class]++
+			if r.IsIO() {
+				sum.IOBytes += r.Bytes
+			}
+			if sum.Records == 1 || r.Time < sum.First {
+				sum.First = r.Time
+			}
+			if end := r.Time + r.Dur; end > sum.Last {
+				sum.Last = end
+			}
+		}
+		out = append(out, sum)
+	}
+	return out, nil
+}
+
+// FormatSummaries renders the per-source overview.
+func FormatSummaries(sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %16s %16s %s\n",
+		"source", "records", "io bytes", "first", "last", "classes")
+	for _, s := range sums {
+		var classes []string
+		for c, n := range s.Classes {
+			classes = append(classes, fmt.Sprintf("%s:%d", c, n))
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(&b, "%-12s %8d %12d %16v %16v %s\n",
+			s.Source, s.Records, s.IOBytes, s.First, s.Last, strings.Join(classes, " "))
+	}
+	return b.String()
+}
+
+// TimelineCSV exports the merged timeline for external tooling.
+func (a *Aggregator) TimelineCSV() (string, error) {
+	events, err := a.Merged()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("time_ns,source,node,rank,class,name,path,offset,bytes,dur_ns\n")
+	for _, e := range events {
+		fmt.Fprintf(&b, "%d,%s,%s,%d,%s,%s,%s,%d,%d,%d\n",
+			int64(e.Time), e.Source, e.Node, e.Rank, e.Class, e.Name,
+			e.Path, e.Offset, e.Bytes, int64(e.Dur))
+	}
+	return b.String(), nil
+}

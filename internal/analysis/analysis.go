@@ -1,0 +1,156 @@
+// Package analysis provides the trace-consumption tools the taxonomy's
+// "Analysis tools" axis asks about: per-call summaries (the third LANL-Trace
+// output in Figure 1), skew/drift correction of per-node timestamps onto a
+// shared timeline, stream merging, and I/O statistics.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iotaxo/internal/clocks"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+// SummaryRow is one line of a call summary.
+type SummaryRow struct {
+	Name      string
+	Calls     int64
+	TotalTime sim.Duration
+}
+
+// CallSummary aggregates records by call name.
+type CallSummary struct {
+	rows map[string]*SummaryRow
+}
+
+// Summarize builds a call summary over records.
+func Summarize(recs []trace.Record) *CallSummary {
+	s := &CallSummary{rows: make(map[string]*SummaryRow)}
+	for i := range recs {
+		s.Add(&recs[i])
+	}
+	return s
+}
+
+// Add folds one record into the summary.
+func (s *CallSummary) Add(r *trace.Record) {
+	row, ok := s.rows[r.Name]
+	if !ok {
+		row = &SummaryRow{Name: r.Name}
+		s.rows[r.Name] = row
+	}
+	row.Calls++
+	row.TotalTime += r.Dur
+}
+
+// Rows returns the summary sorted by call name.
+func (s *CallSummary) Rows() []SummaryRow {
+	out := make([]SummaryRow, 0, len(s.rows))
+	for _, r := range s.rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Format renders the summary in the style of Figure 1:
+//
+//	#                     SUMMARY COUNT OF TRACED CALL(S)
+//	#  Function Name            Number of Calls            Total time (s)
+//	=====================================================================
+//	   MPI_Barrier                           29                  2.156431
+func (s *CallSummary) Format() string {
+	var b strings.Builder
+	b.WriteString("#                     SUMMARY COUNT OF TRACED CALL(S)\n")
+	b.WriteString("#  Function Name            Number of Calls            Total time (s)\n")
+	b.WriteString(strings.Repeat("=", 77) + "\n")
+	for _, row := range s.Rows() {
+		secs := float64(row.TotalTime) / float64(sim.Second)
+		fmt.Fprintf(&b, "   %-24s %15d %25.6f\n", row.Name, row.Calls, secs)
+	}
+	return b.String()
+}
+
+// CorrectTimeline maps each record's node-local timestamp onto the
+// reference timeline using per-node clock estimates (from the LANL-Trace
+// barrier timing job). Records from nodes without an estimate are passed
+// through unchanged.
+func CorrectTimeline(recs []trace.Record, est map[string]clocks.Estimate) []trace.Record {
+	out := make([]trace.Record, len(recs))
+	for i, r := range recs {
+		out[i] = r.Clone()
+		if e, ok := est[r.Node]; ok {
+			out[i].Time = e.Correct(r.Time)
+		}
+	}
+	return out
+}
+
+// MergeSorted merges per-process record streams into one stream ordered by
+// timestamp (stable across equal timestamps by input order).
+func MergeSorted(streams ...[]trace.Record) []trace.Record {
+	var out []trace.Record
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// IOStats aggregates data-movement statistics from a record stream.
+type IOStats struct {
+	Calls        int64
+	Bytes        int64
+	ReadBytes    int64
+	WriteBytes   int64
+	TimeInIO     sim.Duration
+	DistinctPath map[string]struct{}
+}
+
+// ComputeIOStats scans records for I/O operations.
+func ComputeIOStats(recs []trace.Record) IOStats {
+	st := IOStats{DistinctPath: make(map[string]struct{})}
+	for i := range recs {
+		r := &recs[i]
+		if !r.IsIO() {
+			continue
+		}
+		st.Calls++
+		st.Bytes += r.Bytes
+		st.TimeInIO += r.Dur
+		if strings.Contains(r.Name, "read") || strings.Contains(r.Name, "Read") {
+			st.ReadBytes += r.Bytes
+		} else {
+			st.WriteBytes += r.Bytes
+		}
+		if r.Path != "" {
+			st.DistinctPath[r.Path] = struct{}{}
+		}
+	}
+	return st
+}
+
+// Bandwidth reports bytes moved per second of in-call time, 0 when unknown.
+func (s IOStats) Bandwidth() float64 {
+	if s.TimeInIO <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / s.TimeInIO.Seconds()
+}
+
+// TimelineSpan reports the first and last record timestamps.
+func TimelineSpan(recs []trace.Record) (first, last sim.Time) {
+	for i := range recs {
+		t := recs[i].Time
+		if i == 0 || t < first {
+			first = t
+		}
+		if end := t + recs[i].Dur; end > last {
+			last = end
+		}
+	}
+	return first, last
+}

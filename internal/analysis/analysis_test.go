@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/clocks"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+func records() []trace.Record {
+	return []trace.Record{
+		{Name: "MPI_Barrier", Dur: 2 * sim.Second, Time: 10, Node: "a"},
+		{Name: "MPI_Barrier", Dur: 156431 * sim.Microsecond, Time: 30, Node: "a"},
+		{Name: "SYS_read", Dur: 22 * sim.Microsecond, Time: 20, Node: "a", Bytes: 4096},
+		{Name: "SYS_read", Dur: 22 * sim.Microsecond, Time: 40, Node: "b", Bytes: 4096},
+		{Name: "SYS_open", Dur: 5 * sim.Microsecond, Time: 5, Node: "b", Path: "/f"},
+		{Name: "SYS_pwrite", Dur: 100 * sim.Microsecond, Time: 50, Node: "b", Bytes: 8192, Path: "/f"},
+	}
+}
+
+func TestSummarizeCountsAndTimes(t *testing.T) {
+	s := Summarize(records())
+	rows := s.Rows()
+	byName := map[string]SummaryRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["MPI_Barrier"].Calls != 2 {
+		t.Fatalf("barrier calls = %d", byName["MPI_Barrier"].Calls)
+	}
+	if byName["MPI_Barrier"].TotalTime != 2*sim.Second+156431*sim.Microsecond {
+		t.Fatalf("barrier time = %v", byName["MPI_Barrier"].TotalTime)
+	}
+	if byName["SYS_read"].Calls != 2 {
+		t.Fatalf("read calls = %d", byName["SYS_read"].Calls)
+	}
+}
+
+func TestSummaryRowsSorted(t *testing.T) {
+	rows := Summarize(records()).Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Name < rows[i-1].Name {
+			t.Fatal("rows not sorted")
+		}
+	}
+}
+
+func TestFormatMatchesFigure1(t *testing.T) {
+	out := Summarize(records()).Format()
+	for _, want := range []string{
+		"SUMMARY COUNT OF TRACED CALL(S)",
+		"Function Name",
+		"Number of Calls",
+		"Total time (s)",
+		"MPI_Barrier",
+		"2.156431",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCorrectTimelineAppliesEstimates(t *testing.T) {
+	recs := []trace.Record{
+		{Node: "a", Time: 1000},
+		{Node: "b", Time: 1000},
+		{Node: "c", Time: 1000},
+	}
+	est := map[string]clocks.Estimate{
+		"a": {Skew: 100},
+		"b": {Skew: -100},
+	}
+	out := CorrectTimeline(recs, est)
+	if out[0].Time != 900 || out[1].Time != 1100 {
+		t.Fatalf("corrected times: %v %v", out[0].Time, out[1].Time)
+	}
+	if out[2].Time != 1000 {
+		t.Fatalf("unknown node altered: %v", out[2].Time)
+	}
+	// Original untouched.
+	if recs[0].Time != 1000 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMergeSortedOrders(t *testing.T) {
+	a := []trace.Record{{Time: 10}, {Time: 30}}
+	b := []trace.Record{{Time: 20}, {Time: 40}}
+	out := MergeSorted(a, b)
+	for i := 1; i < len(out); i++ {
+		if out[i].Time < out[i-1].Time {
+			t.Fatal("not sorted")
+		}
+	}
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+}
+
+// Property: MergeSorted output is always nondecreasing in Time.
+func TestMergeSortedProperty(t *testing.T) {
+	f := func(times []int16) bool {
+		var a, b []trace.Record
+		for i, tm := range times {
+			r := trace.Record{Time: sim.Time(tm)}
+			if i%2 == 0 {
+				a = append(a, r)
+			} else {
+				b = append(b, r)
+			}
+		}
+		out := MergeSorted(a, b)
+		for i := 1; i < len(out); i++ {
+			if out[i].Time < out[i-1].Time {
+				return false
+			}
+		}
+		return len(out) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeIOStats(t *testing.T) {
+	st := ComputeIOStats(records())
+	if st.Calls != 3 {
+		t.Fatalf("io calls = %d", st.Calls)
+	}
+	if st.Bytes != 4096*2+8192 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if st.ReadBytes != 8192 || st.WriteBytes != 8192 {
+		t.Fatalf("read=%d write=%d", st.ReadBytes, st.WriteBytes)
+	}
+	if len(st.DistinctPath) != 1 {
+		t.Fatalf("paths = %d", len(st.DistinctPath))
+	}
+	if st.Bandwidth() <= 0 {
+		t.Fatal("bandwidth not positive")
+	}
+}
+
+func TestBandwidthZeroWhenNoTime(t *testing.T) {
+	st := IOStats{}
+	if st.Bandwidth() != 0 {
+		t.Fatal("expected 0")
+	}
+}
+
+func TestTimelineSpan(t *testing.T) {
+	first, last := TimelineSpan(records())
+	if first != 5 {
+		t.Fatalf("first = %v", first)
+	}
+	if last != 30+sim.Time(156431*sim.Microsecond) && last < 30 {
+		t.Fatalf("last = %v", last)
+	}
+}
+
+func TestSummaryAddIncremental(t *testing.T) {
+	s := &CallSummary{}
+	s2 := Summarize(nil)
+	r := trace.Record{Name: "X", Dur: 5}
+	s2.Add(&r)
+	s2.Add(&r)
+	if rows := s2.Rows(); len(rows) != 1 || rows[0].Calls != 2 || rows[0].TotalTime != 10 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	_ = s
+}

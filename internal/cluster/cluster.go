@@ -1,0 +1,126 @@
+// Package cluster assembles the full simulated testbed of the paper's
+// overhead experiments: compute nodes running Linux-like kernels with
+// skewed/drifting clocks, a gigabit-Ethernet interconnect, a local file
+// system per node, and the striped RAID-5 parallel file system, with an MPI
+// world spanning the compute nodes.
+package cluster
+
+import (
+	"fmt"
+
+	"iotaxo/internal/clocks"
+	"iotaxo/internal/disk"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/netsim"
+	"iotaxo/internal/pfs"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/vfs"
+)
+
+// PFSMount is the path prefix where the parallel file system is mounted on
+// every compute node.
+const PFSMount = "/pfs"
+
+// Config describes a testbed.
+type Config struct {
+	ComputeNodes int
+	RanksPerNode int
+	Net          netsim.Config
+	PFS          pfs.Config
+	Kernel       vfs.KernelConfig
+	LocalDisk    disk.Config
+
+	// MaxSkew and MaxDrift bound the per-node clock error, drawn
+	// deterministically from the environment seed. Zero disables.
+	MaxSkew  sim.Duration
+	MaxDrift float64
+
+	Seed int64
+}
+
+// Default approximates the paper's testbed: 32 single-rank compute nodes on
+// gigabit Ethernet, 12 object servers x 21-drive RAID-5 (252 drives), 64 KB
+// stripes, and realistic clock error (up to 250 ms skew, 100 ppm drift).
+func Default() Config {
+	return Config{
+		ComputeNodes: 32,
+		RanksPerNode: 1,
+		Net:          netsim.GigabitEthernet(),
+		PFS:          pfs.DefaultParallel(),
+		Kernel:       vfs.DefaultKernelConfig(),
+		LocalDisk:    disk.DefaultDisk(),
+		MaxSkew:      250 * sim.Millisecond,
+		MaxDrift:     100e-6,
+		Seed:         1,
+	}
+}
+
+// Small returns a scaled-down testbed for unit tests: 4 nodes, 4 servers.
+func Small() Config {
+	cfg := Default()
+	cfg.ComputeNodes = 4
+	cfg.PFS.Servers = 4
+	cfg.PFS.Array.Disks = 5
+	return cfg
+}
+
+// Cluster is a running testbed.
+type Cluster struct {
+	Cfg     Config
+	Env     *sim.Env
+	Net     *netsim.Network
+	Kernels []*vfs.Kernel // one per compute node
+	Locals  []*vfs.MemFS  // local FS per compute node
+	PFS     *pfs.System
+	World   *mpi.World
+}
+
+// NodeName returns compute node i's host name, styled after the paper's
+// Figure 1 output.
+func NodeName(i int) string { return fmt.Sprintf("host%02d.lanl.gov", i+1) }
+
+// New builds and starts a testbed.
+func New(cfg Config) *Cluster {
+	env := sim.NewEnv(cfg.Seed)
+	net_ := netsim.New(env, cfg.Net)
+	c := &Cluster{Cfg: cfg, Env: env, Net: net_}
+
+	// PFS first: server nodes register their own names.
+	c.PFS = pfs.New(net_, cfg.PFS)
+
+	var worldKernels []*vfs.Kernel
+	for i := 0; i < cfg.ComputeNodes; i++ {
+		name := NodeName(i)
+		net_.AddNode(name)
+
+		clock := clocks.New(0, 0)
+		if cfg.MaxSkew > 0 || cfg.MaxDrift > 0 {
+			skew := sim.Duration(0)
+			if cfg.MaxSkew > 0 {
+				skew = sim.Duration(env.Rand().Int63n(2*int64(cfg.MaxSkew))) - cfg.MaxSkew
+			}
+			drift := 0.0
+			if cfg.MaxDrift > 0 {
+				drift = (env.Rand().Float64()*2 - 1) * cfg.MaxDrift
+			}
+			clock = clocks.New(skew, drift)
+		}
+
+		k := vfs.NewKernel(env, name, clock, cfg.Kernel)
+		local := vfs.NewMemFS(env, "ext3", cfg.LocalDisk)
+		local.Preload("/etc/hosts", 4096) // MPI_Init reads the host database
+		k.Mount("/", local)
+		k.Mount(PFSMount, pfs.NewClient(c.PFS, name))
+
+		c.Kernels = append(c.Kernels, k)
+		c.Locals = append(c.Locals, local)
+		for r := 0; r < cfg.RanksPerNode; r++ {
+			worldKernels = append(worldKernels, k)
+		}
+	}
+	c.World = mpi.NewWorld(net_, worldKernels)
+	return c
+}
+
+// Ranks returns the total rank count.
+func (c *Cluster) Ranks() int { return c.World.Size() }

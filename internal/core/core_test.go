@@ -1,0 +1,183 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, c := range AllPaperClassifications() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	good := PaperLANLTrace()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(c *Classification){
+		func(c *Classification) { c.Name = "" },
+		func(c *Classification) { c.EaseOfInstall = 0 },
+		func(c *Classification) { c.EaseOfInstall = 6 },
+		func(c *Classification) { c.Anonymization = -1 },
+		func(c *Classification) { c.Intrusiveness = 0 },
+		func(c *Classification) { c.EventTypes = nil },
+		func(c *Classification) { c.AccountsSkewDrift = "maybe" },
+	}
+	for i, mutate := range cases {
+		c := PaperLANLTrace()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTable2MatchesPaperValues(t *testing.T) {
+	table := PaperTable2()
+	for _, want := range []string{
+		"LANL-Trace", "Tracefs", "//TRACE",
+		"Parallel file system compatibility",
+		"2 (Easy)",
+		"4 (Difficult)",
+		"4 (Advanced)",
+		"5 (V. Advanced)",
+		"System calls, Library calls",
+		"File system operations",
+		"I/O system calls",
+		"As low as 6%",
+		"1 (Passive)",
+		"Binary",
+		"Human readable",
+		"24% - 222%",
+		"0% - 12%",
+		"0% - 205%",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table 2 missing %q\n%s", want, table)
+		}
+	}
+}
+
+func TestTable1TemplateHasAllAxes(t *testing.T) {
+	tmpl := Table1Template()
+	for _, axis := range []string{
+		"Parallel file system compatibility",
+		"Ease of installation and use",
+		"Anonymization",
+		"Events types",
+		"Control of trace granularity",
+		"Replayable trace generation",
+		"Trace replay fidelity",
+		"Reveals dependencies",
+		"Intrusive vs. Passive",
+		"Analysis tools",
+		"Trace data format",
+		"Accounts for time skew and drift",
+		"Elapsed time overhead",
+	} {
+		if !strings.Contains(tmpl, axis) {
+			t.Errorf("template missing axis %q", axis)
+		}
+	}
+}
+
+func TestRenderCardSingleColumn(t *testing.T) {
+	card := RenderCard(PaperTracefs())
+	if !strings.Contains(card, "Tracefs") || !strings.Contains(card, "Binary") {
+		t.Fatalf("card:\n%s", card)
+	}
+}
+
+func TestFeatureRowsStableOrderAcrossClassifications(t *testing.T) {
+	a := PaperLANLTrace().FeatureRows()
+	b := PaperParallelTrace().FeatureRows()
+	if len(a) != len(b) || len(a) != 13 {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatalf("row %d feature mismatch: %q vs %q", i, a[i][0], b[i][0])
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	md := RenderMarkdown(AllPaperClassifications()...)
+	if !strings.HasPrefix(md, "| Feature |") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	// Header + separator + 13 feature rows.
+	if len(lines) != 15 {
+		t.Fatalf("markdown has %d lines", len(lines))
+	}
+}
+
+func TestRenderCSVEscaping(t *testing.T) {
+	c := PaperLANLTrace()
+	c.Name = `weird,"name"`
+	csv := RenderCSV(c)
+	if !strings.Contains(csv, `"weird,""name"""`) {
+		t.Fatalf("csv escaping failed:\n%s", csv)
+	}
+}
+
+func TestEmptyComparisons(t *testing.T) {
+	if RenderComparison() != "" || RenderMarkdown() != "" || RenderCSV() != "" {
+		t.Fatal("empty renders should be empty strings")
+	}
+}
+
+func TestOverheadReportRendering(t *testing.T) {
+	if got := (OverheadReport{}).String(); got != "N/A" {
+		t.Fatalf("empty = %q", got)
+	}
+	if got := (OverheadReport{Measured: true, ElapsedMin: 0.1, ElapsedMax: 0.5}).String(); got != "10% - 50%" {
+		t.Fatalf("range = %q", got)
+	}
+	if got := (OverheadReport{Description: "adjustable"}).String(); got != "adjustable" {
+		t.Fatalf("desc = %q", got)
+	}
+}
+
+func TestFidelityReportRendering(t *testing.T) {
+	if got := (FidelityReport{}).String(); got != "N/A" {
+		t.Fatalf("unsupported = %q", got)
+	}
+	if got := (FidelityReport{Supported: true, ErrorFrac: 0.06}).String(); got != "As low as 6%" {
+		t.Fatalf("supported = %q", got)
+	}
+}
+
+// Property: any in-range scale assignment validates.
+func TestScaleRangeProperty(t *testing.T) {
+	f := func(ease, anon, gran, intr uint8) bool {
+		c := PaperLANLTrace()
+		c.EaseOfInstall = Scale(ease%5) + 1
+		c.Anonymization = Scale(anon % 6)
+		c.TraceGranularity = Scale(gran % 6)
+		c.Intrusiveness = Scale(intr%5) + 1
+		return c.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYesNoString(t *testing.T) {
+	if YesNo(true).String() != "Yes" || YesNo(false).String() != "No" {
+		t.Fatal("YesNo rendering broken")
+	}
+}
+
+func TestNotesRenderedAsFootnotes(t *testing.T) {
+	out := RenderComparison(PaperLANLTrace())
+	if !strings.Contains(out, "Notes:") || !strings.Contains(out, "memory-mapped") {
+		t.Fatalf("notes missing:\n%s", out)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Template renders the empty summary-table template of the paper's
+// Table 1: feature names against the value domains a classifier fills in.
+func Table1Template() string {
+	rows := [][2]string{
+		{"Parallel file system compatibility", "[Yes or No]"},
+		{"Ease of installation and use", "[1 (V. Easy) thru 5 (V. Difficult)]"},
+		{"Anonymization", "[None or 1 (Simple) thru 5 (V. Advanced)]"},
+		{"Events types", "[System calls, library calls, FS events]"},
+		{"Control of trace granularity", "[Yes or No]"},
+		{"Replayable trace generation", "[Yes or No]"},
+		{"Trace replay fidelity", "Describe experiment results"},
+		{"Reveals dependencies", "[Yes or No]"},
+		{"Intrusive vs. Passive", "[1 (V. Passive) thru 5 (V. Intrusive)]"},
+		{"Analysis tools", "[Yes or No]"},
+		{"Trace data format", "[Binary or Human readable]"},
+		{"Accounts for time skew and drift", "[Yes or No]"},
+		{"Elapsed time overhead", "Describe experiment results"},
+	}
+	return renderTable([]string{"Feature", "<I/O Tracing Framework Name>"},
+		rowsToCells(rows))
+}
+
+// RenderCard renders a single classification as a filled-in Table 1.
+func RenderCard(c *Classification) string {
+	return renderTable([]string{"Feature", c.Name}, rowsToCells(c.FeatureRows()))
+}
+
+// RenderComparison renders several classifications side by side: the
+// paper's Table 2 ("Classification summary table for various Traces").
+func RenderComparison(cs ...*Classification) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	header := []string{"Feature"}
+	for _, c := range cs {
+		header = append(header, c.Name)
+	}
+	base := cs[0].FeatureRows()
+	cells := make([][]string, len(base))
+	for i := range base {
+		cells[i] = []string{base[i][0]}
+	}
+	for _, c := range cs {
+		for i, row := range c.FeatureRows() {
+			cells[i] = append(cells[i], row[1])
+		}
+	}
+	out := renderTable(header, cells)
+	var notes []string
+	for _, c := range cs {
+		for _, n := range c.Notes {
+			notes = append(notes, fmt.Sprintf("  - %s: %s", c.Name, n))
+		}
+	}
+	if len(notes) > 0 {
+		out += "Notes:\n" + strings.Join(notes, "\n") + "\n"
+	}
+	return out
+}
+
+// RenderMarkdown renders the comparison as a GitHub-flavored markdown table.
+func RenderMarkdown(cs ...*Classification) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("| Feature |")
+	for _, c := range cs {
+		fmt.Fprintf(&b, " %s |", c.Name)
+	}
+	b.WriteString("\n|---|")
+	for range cs {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	base := cs[0].FeatureRows()
+	for i := range base {
+		fmt.Fprintf(&b, "| %s |", base[i][0])
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %s |", c.FeatureRows()[i][1])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCSV renders the comparison as CSV for downstream tooling.
+func RenderCSV(cs ...*Classification) string {
+	if len(cs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("feature")
+	for _, c := range cs {
+		fmt.Fprintf(&b, ",%s", csvEscape(c.Name))
+	}
+	b.WriteString("\n")
+	base := cs[0].FeatureRows()
+	for i := range base {
+		b.WriteString(csvEscape(base[i][0]))
+		for _, c := range cs {
+			fmt.Fprintf(&b, ",%s", csvEscape(c.FeatureRows()[i][1]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func rowsToCells(rows [][2]string) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r[0], r[1]}
+	}
+	return out
+}
+
+// renderTable draws an aligned ASCII table.
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+3*(len(widths)-1)) + "\n")
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's contribution: the I/O Tracing
+// Framework taxonomy. It defines the twelve qualitative feature axes and
+// the quantitative overhead axes of Section 3, a Classification record, and
+// renderers for the paper's two tables: the single-framework summary-table
+// template (Table 1) and the multi-framework comparison (Table 2).
+//
+// The taxonomy "consists of two elements: feature classification and
+// overhead measurement". Feature classification is done by inspection and
+// lives in this package as data; overhead measurement is empirical and is
+// produced by the harness package driving the simulated cluster, then folded
+// into the classification for rendering.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// YesNo is a boolean axis with the paper's rendering.
+type YesNo bool
+
+// String implements fmt.Stringer.
+func (y YesNo) String() string {
+	if y {
+		return "Yes"
+	}
+	return "No"
+}
+
+// Scale is a 1..5 ordinal axis; 0 means "not applicable / none".
+type Scale int
+
+// Scale bounds.
+const (
+	ScaleNone Scale = 0
+	ScaleMin  Scale = 1
+	ScaleMax  Scale = 5
+)
+
+// Valid reports whether the scale value is in range.
+func (s Scale) Valid() bool { return s >= ScaleNone && s <= ScaleMax }
+
+// label renders a scale with a qualitative gloss.
+func (s Scale) label(glosses [6]string) string {
+	if !s.Valid() {
+		return fmt.Sprintf("invalid(%d)", int(s))
+	}
+	if glosses[s] == "" {
+		return fmt.Sprintf("%d", int(s))
+	}
+	if s == 0 {
+		return glosses[0]
+	}
+	return fmt.Sprintf("%d (%s)", int(s), glosses[s])
+}
+
+var easeGlosses = [6]string{"", "V. Easy", "Easy", "Moderate", "Difficult", "V. Difficult"}
+var anonGlosses = [6]string{"No", "Simple", "Basic", "Moderate", "Advanced", "V. Advanced"}
+var intrusiveGlosses = [6]string{"", "Passive", "Mostly passive", "Mixed", "Intrusive", "V. Intrusive"}
+var granGlosses = [6]string{"No", "Simple", "Basic", "Moderate", "Advanced", "V. Advanced"}
+
+// EventType is one kind of event a framework can capture.
+type EventType string
+
+// Event types observed in the survey.
+const (
+	EventSyscalls   EventType = "System calls"
+	EventLibCalls   EventType = "Library calls"
+	EventIOSyscalls EventType = "I/O system calls"
+	EventFSOps      EventType = "File system operations"
+	EventNetwork    EventType = "Network messages"
+)
+
+// DataFormat is the trace output format axis.
+type DataFormat string
+
+// Data formats.
+const (
+	FormatHumanReadable DataFormat = "Human readable"
+	FormatBinary        DataFormat = "Binary"
+)
+
+// OverheadReport is the quantitative element of the taxonomy for one
+// framework: empirical elapsed-time overhead and, when measured, bandwidth
+// overhead. Free-text descriptions match the paper's summary rows.
+type OverheadReport struct {
+	// ElapsedMin/Max bound the observed elapsed-time overhead fraction
+	// ((traced - untraced)/untraced) across the experiment sweep.
+	ElapsedMin, ElapsedMax float64
+	// Description is the free-text cell for the summary table.
+	Description string
+	Measured    bool
+}
+
+// String renders the overhead cell.
+func (o OverheadReport) String() string {
+	if !o.Measured {
+		if o.Description != "" {
+			return o.Description
+		}
+		return "N/A"
+	}
+	if o.Description != "" {
+		return fmt.Sprintf("%.0f%% - %.0f%% (%s)", o.ElapsedMin*100, o.ElapsedMax*100, o.Description)
+	}
+	return fmt.Sprintf("%.0f%% - %.0f%%", o.ElapsedMin*100, o.ElapsedMax*100)
+}
+
+// FidelityReport is the trace-replay-fidelity axis.
+type FidelityReport struct {
+	Supported   bool
+	ErrorFrac   float64 // replay timing error fraction (e.g. 0.06)
+	Description string
+}
+
+// String renders the fidelity cell.
+func (f FidelityReport) String() string {
+	if !f.Supported {
+		return "N/A"
+	}
+	if f.Description != "" {
+		return f.Description
+	}
+	return fmt.Sprintf("As low as %.0f%%", f.ErrorFrac*100)
+}
+
+// Classification is one framework's position on every taxonomy axis —
+// a filled-in copy of Table 1.
+type Classification struct {
+	Name string
+
+	ParallelFSCompat  YesNo
+	EaseOfInstall     Scale // 1 very easy .. 5 very difficult
+	Anonymization     Scale // 0 none .. 5 very advanced
+	EventTypes        []EventType
+	TraceGranularity  Scale // 0 none .. 5 very advanced control
+	ReplayableTraces  YesNo
+	ReplayFidelity    FidelityReport
+	RevealsDeps       YesNo
+	Intrusiveness     Scale // 1 very passive .. 5 very intrusive
+	AnalysisTools     YesNo
+	DataFormat        DataFormat
+	AccountsSkewDrift string // "Yes", "No", or "N/A" per Table 2
+	ElapsedOverhead   OverheadReport
+
+	// Notes holds free-text qualifications rendered as footnotes.
+	Notes []string
+}
+
+// Validate checks scale ranges and required fields.
+func (c *Classification) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("core: classification needs a name")
+	}
+	for _, s := range []struct {
+		name string
+		v    Scale
+		min  Scale
+	}{
+		{"ease of installation", c.EaseOfInstall, ScaleMin},
+		{"anonymization", c.Anonymization, ScaleNone},
+		{"trace granularity", c.TraceGranularity, ScaleNone},
+		{"intrusiveness", c.Intrusiveness, ScaleMin},
+	} {
+		if !s.v.Valid() || s.v < s.min {
+			return fmt.Errorf("core: %s scale %d out of range [%d,%d]", s.name, s.v, s.min, ScaleMax)
+		}
+	}
+	if len(c.EventTypes) == 0 {
+		return fmt.Errorf("core: classification needs at least one event type")
+	}
+	switch c.AccountsSkewDrift {
+	case "Yes", "No", "N/A":
+	default:
+		return fmt.Errorf("core: AccountsSkewDrift must be Yes/No/N/A, got %q", c.AccountsSkewDrift)
+	}
+	return nil
+}
+
+// eventTypesCell renders the event-type list.
+func (c *Classification) eventTypesCell() string {
+	out := make([]string, len(c.EventTypes))
+	for i, e := range c.EventTypes {
+		out[i] = string(e)
+	}
+	return strings.Join(out, ", ")
+}
+
+// FeatureRows returns the (feature, value) pairs in the paper's Table 1/2
+// row order.
+func (c *Classification) FeatureRows() [][2]string {
+	granCell := c.TraceGranularity.label(granGlosses)
+	replayCell := c.ReplayableTraces.String()
+	return [][2]string{
+		{"Parallel file system compatibility", c.ParallelFSCompat.String()},
+		{"Ease of installation and use", c.EaseOfInstall.label(easeGlosses)},
+		{"Anonymization", c.Anonymization.label(anonGlosses)},
+		{"Events types", c.eventTypesCell()},
+		{"Control of trace granularity", granCell},
+		{"Replayable trace generation", replayCell},
+		{"Trace replay fidelity", c.ReplayFidelity.String()},
+		{"Reveals dependencies", c.RevealsDeps.String()},
+		{"Intrusive vs. Passive", c.Intrusiveness.label(intrusiveGlosses)},
+		{"Analysis tools", c.AnalysisTools.String()},
+		{"Trace data format", string(c.DataFormat)},
+		{"Accounts for time skew and drift", c.AccountsSkewDrift},
+		{"Elapsed time overhead", c.ElapsedOverhead.String()},
+	}
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"iotaxo/internal/workload"
+)
+
+// CollectiveRow compares independent and collective writes at one block
+// size.
+type CollectiveRow struct {
+	Block             int64
+	IndependentMBps   float64
+	CollectiveMBps    float64
+	SpeedupCollective float64
+}
+
+// CollectiveResult is the two-phase-I/O ablation: the optimization the
+// paper-era MPI-IO stacks (ROMIO in mpich 1.2.6) applied to exactly the
+// strided small-block pattern the paper calls "most demanding on the
+// parallel I/O file system".
+type CollectiveResult struct {
+	Rows []CollectiveRow
+}
+
+// CollectiveAblation sweeps block sizes for the N-1 strided pattern,
+// measuring independent vs collective write bandwidth. The sweep covers
+// sub-stripe sizes: that is where two-phase I/O wins (merging sub-stripe
+// fragments into full stripe units avoids the RAID-5 read-modify-write),
+// while at large contiguous blocks the extra data shuffle makes it lose —
+// the crossover ROMIO's heuristics exist to navigate.
+func CollectiveAblation(o Options) CollectiveResult {
+	blocks := []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10}
+	var res CollectiveResult
+	for _, block := range blocks {
+		params := o.paramsFor(workload.N1Strided, block)
+		cInd := o.newCluster()
+		ind := workload.Run(cInd.World, params)
+		params.Collective = true
+		cColl := o.newCluster()
+		coll := workload.Run(cColl.World, params)
+		row := CollectiveRow{
+			Block:           block,
+			IndependentMBps: ind.BandwidthBps() / 1e6,
+			CollectiveMBps:  coll.BandwidthBps() / 1e6,
+		}
+		if ind.BandwidthBps() > 0 {
+			row.SpeedupCollective = coll.BandwidthBps() / ind.BandwidthBps()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Format renders the ablation table.
+func (r CollectiveResult) Format() string {
+	var b strings.Builder
+	b.WriteString("# Collective (two-phase) vs independent I/O, N-1 strided\n")
+	fmt.Fprintf(&b, "%10s %16s %16s %10s\n", "block(KB)", "independent MB/s", "collective MB/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %16.1f %16.1f %9.2fx\n",
+			row.Block>>10, row.IndependentMBps, row.CollectiveMBps, row.SpeedupCollective)
+	}
+	return b.String()
+}

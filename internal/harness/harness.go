@@ -1,0 +1,221 @@
+// Package harness drives every experiment in the paper's evaluation
+// section: the three LANL-Trace overhead figures (Figures 2-4), the in-text
+// bandwidth-overhead table, the elapsed-time overhead range, the Tracefs
+// feature-overhead measurements, the //TRACE fidelity/overhead sweep, the
+// Figure 1 sample outputs, and the Table 2 classification summary with
+// measured overheads folded in.
+//
+// Experiments run at a scaled-down data volume by default (the simulation's
+// cost is O(I/O events), and overhead *fractions* are volume-independent);
+// Options.Full selects paper-scale sizes (one 100 GB shared file / N x 10 GB
+// files).
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/lanltrace"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/workload"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Ranks is the MPI job size (paper: 32).
+	Ranks int
+	// PerRankBytes is each rank's data volume; the paper wrote 100 GB/N
+	// per rank to a shared file and 10 GB per rank in N-N.
+	PerRankBytes int64
+	// BlockSizes is the sweep's x-axis in bytes.
+	BlockSizes []int64
+	// Seed feeds the deterministic simulation.
+	Seed int64
+	// Mode selects the LANL-Trace tracer for overhead runs.
+	Mode lanltrace.Mode
+}
+
+// DefaultOptions returns the scaled-down sweep: 32 ranks, 16 MiB per rank,
+// block sizes 64 KB to 8192 KB doubling (the figures' x-axis).
+func DefaultOptions() Options {
+	return Options{
+		Ranks:        32,
+		PerRankBytes: 16 << 20,
+		BlockSizes:   []int64{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20},
+		Seed:         1,
+		Mode:         lanltrace.ModeLtrace,
+	}
+}
+
+// FullOptions returns paper-scale sizes (expensive: ~1.6 M syscalls at the
+// 64 KB point).
+func FullOptions() Options {
+	o := DefaultOptions()
+	o.PerRankBytes = 100 << 30 / 32 // one 100 GB shared file across 32 ranks
+	return o
+}
+
+// QuickOptions returns a tiny sweep for unit tests and testing.B benches.
+func QuickOptions() Options {
+	return Options{
+		Ranks:        8,
+		PerRankBytes: 2 << 20,
+		BlockSizes:   []int64{64 << 10, 512 << 10, 8 << 20},
+		Seed:         1,
+		Mode:         lanltrace.ModeLtrace,
+	}
+}
+
+// newCluster builds a fresh testbed for one run.
+func (o Options) newCluster() *cluster.Cluster {
+	cfg := cluster.Default()
+	cfg.ComputeNodes = o.Ranks
+	cfg.Seed = o.Seed
+	return cluster.New(cfg)
+}
+
+// paramsFor derives workload parameters for a pattern and block size.
+func (o Options) paramsFor(pattern workload.Pattern, block int64) workload.Params {
+	nobj := int(o.PerRankBytes / block)
+	if nobj < 1 {
+		nobj = 1
+	}
+	return workload.Params{
+		Pattern:   pattern,
+		BlockSize: block,
+		NObj:      nobj,
+		Path:      "/pfs/mpi_io_test.out",
+	}
+}
+
+// BandwidthPoint is one x-position of Figures 2-4.
+type BandwidthPoint struct {
+	BlockBytes       int64
+	UntracedMBps     float64
+	TracedMBps       float64
+	UntracedElapsed  sim.Duration
+	TracedElapsed    sim.Duration
+	BandwidthOvhFrac float64 // (untraced - traced) / untraced bandwidth
+	ElapsedOvhFrac   float64 // (traced - untraced) / untraced elapsed
+}
+
+// FigureResult is a regenerated figure: a bandwidth-vs-blocksize series for
+// traced and untraced runs.
+type FigureResult struct {
+	ID      string
+	Title   string
+	Pattern workload.Pattern
+	Points  []BandwidthPoint
+}
+
+// runUntraced executes one untraced benchmark run.
+func (o Options) runUntraced(pattern workload.Pattern, block int64) workload.Result {
+	c := o.newCluster()
+	return workload.Run(c.World, o.paramsFor(pattern, block))
+}
+
+// runTraced executes one LANL-Trace'd benchmark run.
+func (o Options) runTraced(pattern workload.Pattern, block int64) (workload.Result, *lanltrace.Report) {
+	c := o.newCluster()
+	var cfg lanltrace.Config
+	if o.Mode == lanltrace.ModeStrace {
+		cfg = lanltrace.StraceConfig()
+	} else {
+		cfg = lanltrace.DefaultConfig()
+	}
+	fw := lanltrace.New(cfg)
+	params := o.paramsFor(pattern, block)
+	perRank := make([]workload.RankStats, c.Ranks())
+	rep := fw.Run(c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
+		workload.Program(p, r, params, &perRank[r.RankID()])
+	})
+	return workload.ResultFromStats(params, rep.Elapsed, perRank), rep
+}
+
+// sweep produces the figure series for one pattern. Each (block size,
+// traced?) run is an independent simulation environment, so the sweep fans
+// out across OS threads; results are deterministic regardless of scheduling
+// because every environment is seeded identically.
+func (o Options) sweep(id, title string, pattern workload.Pattern) FigureResult {
+	fig := FigureResult{
+		ID: id, Title: title, Pattern: pattern,
+		Points: make([]BandwidthPoint, len(o.BlockSizes)),
+	}
+	var wg sync.WaitGroup
+	for i, block := range o.BlockSizes {
+		i, block := i, block
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var un, tr workload.Result
+			var inner sync.WaitGroup
+			inner.Add(2)
+			go func() { defer inner.Done(); un = o.runUntraced(pattern, block) }()
+			go func() { defer inner.Done(); tr, _ = o.runTraced(pattern, block) }()
+			inner.Wait()
+			pt := BandwidthPoint{
+				BlockBytes:      block,
+				UntracedMBps:    un.BandwidthBps() / 1e6,
+				TracedMBps:      tr.BandwidthBps() / 1e6,
+				UntracedElapsed: un.Elapsed,
+				TracedElapsed:   tr.Elapsed,
+			}
+			if un.BandwidthBps() > 0 {
+				pt.BandwidthOvhFrac = (un.BandwidthBps() - tr.BandwidthBps()) / un.BandwidthBps()
+			}
+			if un.Elapsed > 0 {
+				pt.ElapsedOvhFrac = float64(tr.Elapsed-un.Elapsed) / float64(un.Elapsed)
+			}
+			fig.Points[i] = pt
+		}()
+	}
+	wg.Wait()
+	return fig
+}
+
+// Figure2 regenerates Figure 2: N processes writing one shared file,
+// strided — "the benchmark parameterization most demanding on the parallel
+// I/O file system".
+func Figure2(o Options) FigureResult {
+	return o.sweep("fig2", "LANL-Trace overhead, N procs writing one shared file, strided", workload.N1Strided)
+}
+
+// Figure3 regenerates Figure 3: N processes writing one shared file,
+// non-strided.
+func Figure3(o Options) FigureResult {
+	return o.sweep("fig3", "LANL-Trace overhead, N procs writing one shared file, non-strided", workload.N1NonStrided)
+}
+
+// Figure4 regenerates Figure 4: N processes writing N files.
+func Figure4(o Options) FigureResult {
+	return o.sweep("fig4", "LANL-Trace overhead, N procs writing N files", workload.NToN)
+}
+
+// Format renders the figure as an aligned text table (the repo's stand-in
+// for the paper's plots).
+func (f FigureResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%10s %14s %14s %12s %12s\n",
+		"block(KB)", "untraced MB/s", "traced MB/s", "bw ovh %", "elapsed ovh %")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%10d %14.1f %14.1f %12.1f %12.1f\n",
+			p.BlockBytes>>10, p.UntracedMBps, p.TracedMBps,
+			p.BandwidthOvhFrac*100, p.ElapsedOvhFrac*100)
+	}
+	return b.String()
+}
+
+// CSV renders the figure series for plotting.
+func (f FigureResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("block_kb,untraced_mbps,traced_mbps,bw_overhead_frac,elapsed_overhead_frac\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.4f,%.4f\n",
+			p.BlockBytes>>10, p.UntracedMBps, p.TracedMBps, p.BandwidthOvhFrac, p.ElapsedOvhFrac)
+	}
+	return b.String()
+}

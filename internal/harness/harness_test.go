@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"iotaxo/internal/workload"
+)
+
+// The harness tests assert the *shape* claims of the paper's evaluation at
+// a scaled-down data volume: who wins, by roughly what factor, and where
+// the curves bend. Absolute MB/s values are simulation artifacts.
+
+func TestFigure2Shape(t *testing.T) {
+	o := QuickOptions()
+	fig := Figure2(o)
+	if len(fig.Points) != len(o.BlockSizes) {
+		t.Fatalf("points = %d", len(fig.Points))
+	}
+	// Untraced bandwidth grows with block size.
+	first, last := fig.Points[0], fig.Points[len(fig.Points)-1]
+	if last.UntracedMBps <= first.UntracedMBps {
+		t.Fatalf("bandwidth did not grow: %v -> %v", first.UntracedMBps, last.UntracedMBps)
+	}
+	// Tracing costs bandwidth at small blocks...
+	if first.BandwidthOvhFrac < 0.2 {
+		t.Fatalf("64KB bandwidth overhead %.1f%%, want tens of %%", first.BandwidthOvhFrac*100)
+	}
+	// ...and much less at large blocks.
+	if last.BandwidthOvhFrac > 0.15 {
+		t.Fatalf("8MB bandwidth overhead %.1f%%, want <15%%", last.BandwidthOvhFrac*100)
+	}
+	if first.BandwidthOvhFrac <= last.BandwidthOvhFrac {
+		t.Fatal("overhead did not fall with block size")
+	}
+}
+
+func TestFigure3And4SameShape(t *testing.T) {
+	o := QuickOptions()
+	for _, fig := range []FigureResult{Figure3(o), Figure4(o)} {
+		first := fig.Points[0]
+		last := fig.Points[len(fig.Points)-1]
+		if first.BandwidthOvhFrac <= last.BandwidthOvhFrac {
+			t.Fatalf("%s: overhead flat or rising: %.2f -> %.2f",
+				fig.ID, first.BandwidthOvhFrac, last.BandwidthOvhFrac)
+		}
+		if first.TracedMBps >= first.UntracedMBps {
+			t.Fatalf("%s: tracing did not cost bandwidth at 64KB", fig.ID)
+		}
+	}
+}
+
+func TestInTextOverheadBands(t *testing.T) {
+	o := QuickOptions()
+	res := InTextOverheads(o)
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		switch c.Block {
+		case 64 << 10:
+			// Paper: 51.3-68.6%. Accept a generous band around it.
+			if c.BwOvhFrac < 0.25 || c.BwOvhFrac > 0.95 {
+				t.Errorf("%v @64KB: %.1f%%, want 25-95%%", c.Pattern, c.BwOvhFrac*100)
+			}
+		case 8192 << 10:
+			// Paper: 0.6-6.1%.
+			if c.BwOvhFrac < -0.05 || c.BwOvhFrac > 0.15 {
+				t.Errorf("%v @8MB: %.1f%%, want <15%%", c.Pattern, c.BwOvhFrac*100)
+			}
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "paper %") || !strings.Contains(out, "N-1 strided") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestElapsedRangeBand(t *testing.T) {
+	o := QuickOptions()
+	res := ElapsedRange(o)
+	if res.Min >= res.Max {
+		t.Fatalf("range degenerate: %v..%v", res.Min, res.Max)
+	}
+	// Paper: 24%-222%; variability must be large and block-size-driven.
+	if res.Max < 0.5 {
+		t.Fatalf("max elapsed overhead %.0f%%, want >50%%", res.Max*100)
+	}
+	if res.Min > 0.5 {
+		t.Fatalf("min elapsed overhead %.0f%%, want <50%%", res.Min*100)
+	}
+	if !strings.Contains(res.Format(), "24% - 222%") {
+		t.Fatal("format missing paper reference")
+	}
+}
+
+func TestTracefsExperimentBands(t *testing.T) {
+	o := QuickOptions()
+	res := TracefsExperiment(o)
+	rows := map[string]TracefsRow{}
+	for _, r := range res.Rows {
+		rows[r.Name] = r
+	}
+	plain := rows["trace all ops (buffered)"]
+	// Paper bound for plain full tracing: <=12.4%.
+	if plain.ElapsedOvh <= 0 || plain.ElapsedOvh > 0.124 {
+		t.Fatalf("plain tracing overhead %.1f%%, want (0, 12.4%%]", plain.ElapsedOvh*100)
+	}
+	// Feature costs escalate.
+	if rows["+checksumming"].ElapsedOvh < plain.ElapsedOvh {
+		t.Fatal("checksumming did not add cost")
+	}
+	if rows["+CBC encryption (full)"].ElapsedOvh <= rows["+checksumming"].ElapsedOvh {
+		t.Fatal("encryption did not add cost over checksumming")
+	}
+	// Granularity filtering reduces output volume.
+	if rows["granularity: large writes only"].OutputBytes >= plain.OutputBytes {
+		t.Fatal("filter did not shrink output")
+	}
+	// Compression shrinks output.
+	if rows["+compression"].OutputBytes >= plain.OutputBytes {
+		t.Fatal("compression did not shrink output")
+	}
+}
+
+func TestParallelTraceFrontier(t *testing.T) {
+	o := QuickOptions()
+	res := ParallelTraceExperiment(o)
+	if len(res.Rows) < 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Overhead rises with sampling; fidelity error falls.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].OverheadFrac <= res.Rows[i-1].OverheadFrac {
+			t.Fatalf("overhead not increasing at row %d", i)
+		}
+	}
+	zero := res.Rows[0]
+	fullest := res.Rows[len(res.Rows)-1]
+	if zero.OverheadFrac > 0.10 {
+		t.Fatalf("zero-sampling overhead %.1f%%, want ~0%%", zero.OverheadFrac*100)
+	}
+	if fullest.FidelityErr >= zero.FidelityErr {
+		t.Fatal("dependencies did not improve fidelity")
+	}
+	// Paper: fidelity as low as 6%.
+	if res.BestFidelity() > 0.12 {
+		t.Fatalf("best fidelity error %.1f%%, want <=12%%", res.BestFidelity()*100)
+	}
+}
+
+func TestFigure1OutputsLookRight(t *testing.T) {
+	res := Figure1(QuickOptions())
+	for _, want := range []string{"SYS_pwrite", "MPI_File_open", "SYS_statfs64"} {
+		if !strings.Contains(res.Raw, want) {
+			t.Errorf("raw output missing %q:\n%s", want, res.Raw)
+		}
+	}
+	for _, want := range []string{"# Barrier before", "Entered barrier at", "Exited barrier at"} {
+		if !strings.Contains(res.Timing, want) {
+			t.Errorf("timing output missing %q", want)
+		}
+	}
+	for _, want := range []string{"SUMMARY COUNT OF TRACED CALL(S)", "MPI_Barrier", "SYS_open"} {
+		if !strings.Contains(res.Summary, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	if !strings.Contains(res.CmdLine, `"-size" "32768"`) {
+		t.Errorf("command line: %s", res.CmdLine)
+	}
+}
+
+func TestTable2MeasuredRenders(t *testing.T) {
+	o := QuickOptions()
+	table := Table2Measured(ElapsedRange(o), TracefsExperiment(o), ParallelTraceExperiment(o))
+	for _, want := range []string{"LANL-Trace", "Tracefs", "//TRACE", "measured, this repository"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	o := QuickOptions()
+	o.BlockSizes = o.BlockSizes[:1]
+	csv := Figure2(o).CSV()
+	if !strings.HasPrefix(csv, "block_kb,") || strings.Count(csv, "\n") != 2 {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestParamsForDerivesNObj(t *testing.T) {
+	o := DefaultOptions()
+	p := o.paramsFor(workload.N1Strided, 64<<10)
+	if p.NObj != int(o.PerRankBytes/(64<<10)) {
+		t.Fatalf("nobj = %d", p.NObj)
+	}
+	p = o.paramsFor(workload.NToN, o.PerRankBytes*2)
+	if p.NObj != 1 {
+		t.Fatalf("nobj floor = %d", p.NObj)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	if FullOptions().PerRankBytes != 100<<30/32 {
+		t.Fatal("full options not paper scale")
+	}
+	if len(DefaultOptions().BlockSizes) != 8 {
+		t.Fatal("default sweep should cover 8 block sizes")
+	}
+}

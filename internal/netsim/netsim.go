@@ -1,0 +1,228 @@
+// Package netsim models a switched cluster interconnect — the paper's
+// testbed used gigabit Ethernet over copper — on top of the DES kernel.
+//
+// Each node owns a full-duplex network interface. A message from A to B
+// serializes on A's transmit side (back-to-back sends from one node queue at
+// its NIC), crosses the switch after a fixed latency, serializes on B's
+// receive side (modelling incast: many clients writing to one server contend
+// for the server's ingress), and is then delivered to the mailbox listening
+// on the destination port. Per-message software overhead and frame headers
+// make small messages proportionally expensive, which is one of the two
+// mechanisms behind the paper's bandwidth-versus-blocksize curves.
+package netsim
+
+import (
+	"fmt"
+
+	"iotaxo/internal/sim"
+)
+
+// Config fixes the interconnect's physical parameters.
+type Config struct {
+	BandwidthBps  float64      // per-direction link bandwidth, bytes/second
+	Latency       sim.Duration // one-way propagation + switch latency
+	FrameOverhead int64        // header bytes added to every message
+	PerMessageCPU sim.Duration // software send/receive cost per message
+}
+
+// GigabitEthernet returns parameters approximating the paper's testbed
+// interconnect: 1 Gb/s links, ~60 µs one-way latency through the switch,
+// Ethernet+IP+TCP framing, and a small per-message software cost.
+func GigabitEthernet() Config {
+	return Config{
+		BandwidthBps:  125e6, // 1 Gb/s
+		Latency:       60 * sim.Microsecond,
+		FrameOverhead: 66,
+		PerMessageCPU: 8 * sim.Microsecond,
+	}
+}
+
+// Message is one unit of transfer between nodes.
+type Message struct {
+	From    string
+	To      string
+	Port    int
+	Size    int64 // payload bytes (framing added by the network)
+	Payload any
+}
+
+// Iface is one node's network interface.
+type Iface struct {
+	name string
+	tx   *sim.Resource
+	rx   *sim.Resource
+
+	// Stats, observable by analysis tooling.
+	BytesSent     int64
+	BytesReceived int64
+	MsgsSent      int64
+	MsgsReceived  int64
+}
+
+// Network connects named nodes through a single switch.
+type Network struct {
+	env    *sim.Env
+	cfg    Config
+	ifaces map[string]*Iface
+	ports  map[string]map[int]*sim.Mailbox[Message]
+}
+
+// New returns an empty network with the given configuration.
+func New(env *sim.Env, cfg Config) *Network {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Network{
+		env:    env,
+		cfg:    cfg,
+		ifaces: make(map[string]*Iface),
+		ports:  make(map[string]map[int]*sim.Mailbox[Message]),
+	}
+}
+
+// Env returns the owning simulation environment.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Config returns the interconnect parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode registers a node name and returns its interface. Adding the same
+// name twice is an error caught by panic (configuration bug).
+func (n *Network) AddNode(name string) *Iface {
+	if _, dup := n.ifaces[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	ifc := &Iface{
+		name: name,
+		tx:   sim.NewResource(n.env, 1),
+		rx:   sim.NewResource(n.env, 1),
+	}
+	n.ifaces[name] = ifc
+	n.ports[name] = make(map[int]*sim.Mailbox[Message])
+	return ifc
+}
+
+// Iface returns the interface of a registered node.
+func (n *Network) Iface(name string) *Iface {
+	ifc, ok := n.ifaces[name]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %q", name))
+	}
+	return ifc
+}
+
+// Listen returns (creating if needed) the mailbox for (node, port). Layered
+// protocols — the parallel file system, MPI — each claim a port.
+func (n *Network) Listen(node string, port int) *sim.Mailbox[Message] {
+	if _, ok := n.ifaces[node]; !ok {
+		panic(fmt.Sprintf("netsim: Listen on unknown node %q", node))
+	}
+	mb, ok := n.ports[node][port]
+	if !ok {
+		mb = sim.NewMailbox[Message](n.env)
+		n.ports[node][port] = mb
+	}
+	return mb
+}
+
+// wireBytes is the on-wire size of a message including framing.
+func (n *Network) wireBytes(payload int64) int64 {
+	frames := payload/1460 + 1 // rough MTU-derived frame count
+	return payload + frames*n.cfg.FrameOverhead
+}
+
+// TransferTime reports the uncontended one-way time for a payload of the
+// given size: useful for analytical checks and tests.
+func (n *Network) TransferTime(payload int64) sim.Duration {
+	return n.cfg.PerMessageCPU +
+		sim.DurationOf(n.wireBytes(payload), n.cfg.BandwidthBps) +
+		n.cfg.Latency +
+		sim.DurationOf(n.wireBytes(payload), n.cfg.BandwidthBps)
+}
+
+// Send transmits msg from the calling process. The caller blocks for the
+// sender-side software cost and transmit serialization (as a kernel send
+// blocks while the NIC queue drains); propagation, receive serialization and
+// delivery proceed asynchronously in a courier process.
+func (n *Network) Send(p *sim.Proc, msg Message) {
+	src := n.Iface(msg.From)
+	dst := n.Iface(msg.To)
+	dstBox, ok := n.ports[msg.To][msg.Port]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send to %s:%d with no listener", msg.To, msg.Port))
+	}
+	wire := n.wireBytes(msg.Size)
+	p.Sleep(n.cfg.PerMessageCPU)
+	src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
+	src.BytesSent += wire
+	src.MsgsSent++
+	n.env.Go("net.courier", func(c *sim.Proc) {
+		c.Sleep(n.cfg.Latency)
+		dst.rx.HoldFor(c, sim.DurationOf(wire, n.cfg.BandwidthBps))
+		dst.BytesReceived += wire
+		dst.MsgsReceived++
+		dstBox.Put(msg)
+	})
+}
+
+// Call performs a synchronous request/response exchange: it sends req to
+// (To, Port) and blocks until a reply arrives on the caller's private reply
+// mailbox, which is passed to the server inside the request payload.
+//
+// Request/response protocols (the PFS client, MPI rendezvous) are built on
+// this helper. The reply payload is returned as-is.
+type rpc struct {
+	Req   any
+	Reply *sim.Mailbox[Message]
+}
+
+// Call sends req and waits for the matching reply. replySize is the payload
+// size of the response message travelling back.
+func (n *Network) Call(p *sim.Proc, from, to string, port int, reqSize int64, req any) any {
+	reply := sim.NewMailbox[Message](n.env)
+	n.Send(p, Message{From: from, To: to, Port: port, Size: reqSize,
+		Payload: rpc{Req: req, Reply: reply}})
+	resp := reply.Get(p)
+	return resp.Payload
+}
+
+// ServeRequest unwraps a message received by a server loop. If the message
+// was produced by Call, it returns the inner request and a respond function
+// that sends respSize payload bytes back to the caller; otherwise respond is
+// nil and the raw payload is returned.
+func (n *Network) ServeRequest(server string, msg Message) (req any, respond func(p *sim.Proc, respSize int64, resp any)) {
+	call, ok := msg.Payload.(rpc)
+	if !ok {
+		return msg.Payload, nil
+	}
+	reply := call.Reply
+	from := msg.From
+	return call.Req, func(p *sim.Proc, respSize int64, resp any) {
+		// The response travels the reverse path: serialize on the server's
+		// tx, cross the switch, serialize on the client's rx.
+		src := n.Iface(server)
+		dst := n.Iface(from)
+		wire := n.wireBytes(respSize)
+		p.Sleep(n.cfg.PerMessageCPU)
+		src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
+		src.BytesSent += wire
+		src.MsgsSent++
+		n.env.Go("net.courier", func(c *sim.Proc) {
+			c.Sleep(n.cfg.Latency)
+			dst.rx.HoldFor(c, sim.DurationOf(wire, n.cfg.BandwidthBps))
+			dst.BytesReceived += wire
+			dst.MsgsReceived++
+			reply.Put(Message{From: server, To: from, Size: respSize, Payload: resp})
+		})
+	}
+}
+
+// Nodes returns the registered node names in insertion-independent
+// (map-iteration) order; callers needing determinism sort the result.
+func (n *Network) Nodes() []string {
+	out := make([]string, 0, len(n.ifaces))
+	for name := range n.ifaces {
+		out = append(out, name)
+	}
+	return out
+}

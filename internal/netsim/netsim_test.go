@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/sim"
+)
+
+func testNet(env *sim.Env) *Network {
+	n := New(env, Config{
+		BandwidthBps:  125e6,
+		Latency:       60 * sim.Microsecond,
+		FrameOverhead: 66,
+		PerMessageCPU: 8 * sim.Microsecond,
+	})
+	n.AddNode("a")
+	n.AddNode("b")
+	n.AddNode("c")
+	return n
+}
+
+func TestSendDelivers(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	inbox := n.Listen("b", 7)
+	var got Message
+	var at sim.Time
+	env.Go("recv", func(p *sim.Proc) {
+		got = inbox.Get(p)
+		at = p.Now()
+	})
+	env.Go("send", func(p *sim.Proc) {
+		n.Send(p, Message{From: "a", To: "b", Port: 7, Size: 1000, Payload: "hi"})
+	})
+	env.Run()
+	if got.Payload != "hi" || got.From != "a" {
+		t.Fatalf("got %+v", got)
+	}
+	if want := n.TransferTime(1000); at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestListenUnknownNodePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Listen("nosuch", 1)
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := New(env, GigabitEthernet())
+	n.AddNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.AddNode("x")
+}
+
+func TestTxSerialization(t *testing.T) {
+	// Two back-to-back sends from one node must serialize on its NIC.
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	inbox := n.Listen("b", 1)
+	var arrivals []sim.Time
+	env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			inbox.Get(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	env.Go("send", func(p *sim.Proc) {
+		n.Send(p, Message{From: "a", To: "b", Port: 1, Size: 1 << 20})
+		n.Send(p, Message{From: "a", To: "b", Port: 1, Size: 1 << 20})
+	})
+	env.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("got %d arrivals", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	serial := sim.DurationOf(1<<20+((1<<20)/1460+1)*66, 125e6)
+	// Pipeline: second message is one serialization behind the first, plus
+	// the second per-message CPU charge.
+	if gap < serial {
+		t.Fatalf("messages did not serialize: gap %v < %v", gap, serial)
+	}
+}
+
+func TestIncastRxContention(t *testing.T) {
+	// Two senders to one receiver: aggregate delivery time must reflect the
+	// receiver's single ingress link.
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	inbox := n.Listen("c", 1)
+	var last sim.Time
+	env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			inbox.Get(p)
+			last = p.Now()
+		}
+	})
+	const size = 4 << 20
+	env.Go("s1", func(p *sim.Proc) {
+		n.Send(p, Message{From: "a", To: "c", Port: 1, Size: size})
+	})
+	env.Go("s2", func(p *sim.Proc) {
+		n.Send(p, Message{From: "b", To: "c", Port: 1, Size: size})
+	})
+	env.Run()
+	rxSerial := sim.DurationOf(size+((size)/1460+1)*66, 125e6)
+	if last < 2*rxSerial {
+		t.Fatalf("incast finished too fast: %v < %v", last, 2*rxSerial)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	inbox := n.Listen("b", 2)
+	env.Go("server", func(p *sim.Proc) {
+		msg := inbox.Get(p)
+		req, respond := n.ServeRequest("b", msg)
+		if req != "ping" {
+			t.Errorf("server got %v", req)
+		}
+		respond(p, 100, "pong")
+	})
+	var reply any
+	env.Go("client", func(p *sim.Proc) {
+		reply = n.Call(p, "a", "b", 2, 100, "ping")
+	})
+	env.Run()
+	if reply != "pong" {
+		t.Fatalf("reply = %v", reply)
+	}
+}
+
+func TestServeRequestRawPayload(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	req, respond := n.ServeRequest("b", Message{Payload: 42})
+	if req != 42 || respond != nil {
+		t.Fatalf("raw payload mishandled: req=%v respondNil=%v", req, respond == nil)
+	}
+	_ = env
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	n.Listen("b", 1)
+	env.Go("send", func(p *sim.Proc) {
+		n.Send(p, Message{From: "a", To: "b", Port: 1, Size: 500})
+	})
+	env.Run()
+	if n.Iface("a").MsgsSent != 1 || n.Iface("a").BytesSent <= 500 {
+		t.Fatalf("sender stats: %+v", n.Iface("a"))
+	}
+	if n.Iface("b").MsgsReceived != 1 {
+		t.Fatalf("receiver stats: %+v", n.Iface("b"))
+	}
+}
+
+// Property: TransferTime is monotone nondecreasing in payload size.
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return n.TransferTime(x) <= n.TransferTime(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	_ = env
+}
+
+// Property: per-byte cost falls as messages grow (framing amortization).
+func TestLargeMessagesMoreEfficient(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	small := n.TransferTime(1024).Seconds() / 1024
+	large := n.TransferTime(1<<22).Seconds() / float64(1<<22)
+	if large >= small {
+		t.Fatalf("per-byte cost did not fall: small %g, large %g", small, large)
+	}
+	_ = env
+}
+
+func TestGigabitEthernetDefaults(t *testing.T) {
+	cfg := GigabitEthernet()
+	if cfg.BandwidthBps != 125e6 {
+		t.Fatalf("bandwidth = %v", cfg.BandwidthBps)
+	}
+	if cfg.Latency <= 0 || cfg.PerMessageCPU <= 0 || cfg.FrameOverhead <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}

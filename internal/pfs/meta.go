@@ -1,0 +1,107 @@
+package pfs
+
+import (
+	"iotaxo/internal/disk"
+	"iotaxo/internal/netsim"
+	"iotaxo/internal/sim"
+)
+
+// metaFile is the metadata server's record of one file.
+type metaFile struct {
+	size int64
+	uid  int
+	gid  int
+	mode int
+}
+
+// metaServer serves opens, stats, unlinks and size updates. It journals
+// namespace mutations to a local disk.
+type metaServer struct {
+	sys     *System
+	inbox   *sim.Mailbox[netsim.Message]
+	journal *disk.Disk
+	files   map[string]*metaFile
+	jpos    int64
+
+	Requests int64
+}
+
+func newMetaServer(sys *System) *metaServer {
+	return &metaServer{
+		sys:     sys,
+		inbox:   sys.net.Listen(sys.mdsNode, Port),
+		journal: disk.NewDisk(sys.env, disk.DefaultDisk()),
+		files:   make(map[string]*metaFile),
+	}
+}
+
+func (m *metaServer) start() {
+	m.sys.env.Go(m.sys.mdsNode+".serve", func(p *sim.Proc) {
+		for {
+			msg := m.inbox.Get(p)
+			m.Requests++
+			raw, respond := m.sys.net.ServeRequest(m.sys.mdsNode, msg)
+			req, ok := raw.(metaReq)
+			if !ok {
+				respond(p, reqHeader, metaResp{Err: "pfs: bad metadata request"})
+				continue
+			}
+			resp := m.handle(p, req)
+			respond(p, reqHeader, resp)
+		}
+	})
+}
+
+const oCreate = 0x40 // mirrors vfs.OCreate without importing it
+const oTrunc = 0x200
+
+func (m *metaServer) handle(p *sim.Proc, req metaReq) metaResp {
+	p.Sleep(m.sys.cfg.MetaCost)
+	switch req.Op {
+	case "open":
+		f, ok := m.files[req.Path]
+		if !ok {
+			if req.Flags&oCreate == 0 {
+				return metaResp{Err: "ENOENT"}
+			}
+			f = &metaFile{uid: req.UID, gid: req.GID, mode: req.Mode}
+			m.files[req.Path] = f
+			m.journalWrite(p)
+		}
+		if req.Flags&oTrunc != 0 {
+			f.size = 0
+			m.journalWrite(p)
+		}
+		return metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode}
+	case "stat":
+		f, ok := m.files[req.Path]
+		if !ok {
+			return metaResp{Err: "ENOENT"}
+		}
+		return metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode}
+	case "unlink":
+		if _, ok := m.files[req.Path]; !ok {
+			return metaResp{Err: "ENOENT"}
+		}
+		delete(m.files, req.Path)
+		m.journalWrite(p)
+		return metaResp{}
+	case "setsize":
+		f, ok := m.files[req.Path]
+		if !ok {
+			return metaResp{Err: "ENOENT"}
+		}
+		if req.Size > f.size {
+			f.size = req.Size
+		}
+		return metaResp{Size: f.size}
+	default:
+		return metaResp{Err: "pfs: unknown metadata op " + req.Op}
+	}
+}
+
+// journalWrite appends a journal record for a namespace mutation.
+func (m *metaServer) journalWrite(p *sim.Proc) {
+	m.journal.Write(p, m.jpos, 4096)
+	m.jpos += 4096
+}

@@ -1,0 +1,185 @@
+package pfs
+
+import (
+	"hash/fnv"
+
+	"iotaxo/internal/disk"
+	"iotaxo/internal/netsim"
+	"iotaxo/internal/sim"
+)
+
+// Wire protocol request/response types. Payloads travel by reference inside
+// the simulator; Size fields on messages model the bytes on the wire.
+
+type ioReq struct {
+	Path   string
+	Ranges []stripeRange // phys ranges on this server
+	Write  bool
+}
+
+type ioResp struct {
+	N   int64
+	Err string
+}
+
+type truncReq struct{ Path string }
+
+type metaReq struct {
+	Op    string // "open", "stat", "unlink", "setsize"
+	Path  string
+	Flags int
+	Size  int64
+	UID   int
+	GID   int
+	Mode  int
+}
+
+type metaResp struct {
+	Err  string
+	Size int64
+	UID  int
+	GID  int
+	Mode int
+}
+
+// objState is one server's view of one file's object.
+type objState struct {
+	maxEnd  int64  // highest logical byte written through this server
+	digest  uint64 // XOR of logical-extent hashes
+	writes  int64
+	physEnd int64 // highest server-local byte (for reads)
+}
+
+// server is one object storage server: a node, a RAID group, and a pool of
+// request handlers.
+type server struct {
+	sys   *System
+	idx   int
+	node  string
+	array *disk.Array
+	inbox *sim.Mailbox[netsim.Message]
+	pool  *sim.Resource
+
+	objects map[string]*objState
+
+	// Stats.
+	Requests int64
+}
+
+func newServer(sys *System, idx int) *server {
+	node := sys.ServerNode(idx)
+	sys.net.AddNode(node)
+	return &server{
+		sys:     sys,
+		idx:     idx,
+		node:    node,
+		array:   disk.NewArray(sys.env, sys.cfg.Array),
+		inbox:   sys.net.Listen(node, Port),
+		pool:    sim.NewResource(sys.env, sys.cfg.ServerProcs),
+		objects: make(map[string]*objState),
+	}
+}
+
+// start launches the dispatch loop.
+func (s *server) start() {
+	s.sys.env.Go(s.node+".dispatch", func(p *sim.Proc) {
+		for {
+			msg := s.inbox.Get(p)
+			s.Requests++
+			req, respond := s.sys.net.ServeRequest(s.node, msg)
+			s.sys.env.Go(s.node+".worker", func(w *sim.Proc) {
+				s.pool.Acquire(w)
+				defer s.pool.Release()
+				s.handle(w, req, respond)
+			})
+		}
+	})
+}
+
+func (s *server) handle(p *sim.Proc, req any, respond func(*sim.Proc, int64, any)) {
+	switch r := req.(type) {
+	case ioReq:
+		n, err := s.handleIO(p, r)
+		resp := ioResp{N: n}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		respSize := int64(reqHeader)
+		if !r.Write {
+			respSize += n // read data travels back
+		}
+		respond(p, respSize, resp)
+	case truncReq:
+		delete(s.objects, r.Path)
+		respond(p, reqHeader, ioResp{})
+	default:
+		respond(p, reqHeader, ioResp{Err: "pfs: bad request"})
+	}
+}
+
+func (s *server) handleIO(p *sim.Proc, r ioReq) (int64, error) {
+	st, ok := s.objects[r.Path]
+	if !ok {
+		st = &objState{}
+		s.objects[r.Path] = st
+	}
+	base := objectBase(r.Path)
+	var total int64
+	for _, rg := range r.Ranges {
+		if r.Write {
+			if err := s.array.Write(p, base+rg.phys, rg.length); err != nil {
+				return total, err
+			}
+			s.recordWrite(st, r.Path, rg)
+			total += rg.length
+		} else {
+			length := rg.length
+			if rg.phys >= st.physEnd {
+				continue // hole / EOF on this server
+			}
+			if rg.phys+length > st.physEnd {
+				length = st.physEnd - rg.phys
+			}
+			if err := s.array.Read(p, base+rg.phys, length); err != nil {
+				return total, err
+			}
+			total += length
+		}
+	}
+	return total, nil
+}
+
+// objectBase allocates each file its own extent on the array so distinct
+// files do not false-share physical positions (and stripe rows).
+func objectBase(path string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	const extent = int64(1) << 36 // 64 GiB per object extent
+	return int64(h.Sum64()%1024) * extent
+}
+
+// recordWrite updates digest state, decomposing the physical range into
+// stripe-unit-aligned pieces whose logical offsets are reconstructed via the
+// inverse striping map.
+func (s *server) recordWrite(st *objState, path string, rg stripeRange) {
+	su := s.sys.cfg.StripeUnit
+	phys, length := rg.phys, rg.length
+	for length > 0 {
+		within := phys % su
+		chunk := su - within
+		if chunk > length {
+			chunk = length
+		}
+		logOff := s.sys.logicalOffset(s.idx, phys)
+		st.digest ^= extentHash(path, logOff, chunk)
+		st.writes++
+		if end := logOff + chunk; end > st.maxEnd {
+			st.maxEnd = end
+		}
+		phys += chunk
+		length -= chunk
+	}
+	if rg.phys+rg.length > st.physEnd {
+		st.physEnd = rg.phys + rg.length
+	}
+}

@@ -1,0 +1,220 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/sim"
+)
+
+func testCluster() *cluster.Cluster {
+	cfg := cluster.Small()
+	cfg.MaxSkew = 0
+	cfg.MaxDrift = 0
+	return cluster.New(cfg)
+}
+
+func simpleTrace(ranks int) *Trace {
+	tr := &Trace{Ranks: ranks, Ops: make([][]Op, ranks), OriginalElapsed: sim.Second}
+	for r := 0; r < ranks; r++ {
+		tr.Ops[r] = []Op{
+			{Kind: OpOpen, Path: "/pfs/replayed", Compute: 10 * sim.Millisecond},
+			{Kind: OpWrite, Path: "/pfs/replayed", Offset: int64(r) * 65536, Bytes: 65536},
+			{Kind: OpClose, Path: "/pfs/replayed"},
+		}
+	}
+	return tr
+}
+
+func TestExecuteWritesExpectedData(t *testing.T) {
+	c := testCluster()
+	tr := simpleTrace(4)
+	res, err := Execute(c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || len(res.PerRank) != 4 {
+		t.Fatalf("result: %+v", res)
+	}
+	size, _, writes, ok := c.PFS.Snapshot("/pfs/replayed")
+	if !ok || size != 4*65536 || writes != 4 {
+		t.Fatalf("snapshot size=%d writes=%d ok=%v", size, writes, ok)
+	}
+}
+
+func TestComputeGapsDelayElapsed(t *testing.T) {
+	withGap := simpleTrace(2)
+	withGap.Ops[0][0].Compute = 500 * sim.Millisecond
+	noGap := simpleTrace(2)
+	noGap.Ops[0][0].Compute = 0
+
+	c1 := testCluster()
+	r1, err := Execute(c1, withGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := testCluster()
+	r2, err := Execute(c2, noGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed-r2.Elapsed < 400*sim.Millisecond {
+		t.Fatalf("compute gap not honored: %v vs %v", r1.Elapsed, r2.Elapsed)
+	}
+}
+
+func TestDependencyOrdersExecution(t *testing.T) {
+	// Rank 1's write must wait for rank 0's write via a dependency edge.
+	tr := simpleTrace(2)
+	tr.Ops[0][0].Compute = 300 * sim.Millisecond // rank 0 starts late
+	tr.Deps = []Dep{{FromRank: 0, FromOp: 1, ToRank: 1, ToOp: 1}}
+	c := testCluster()
+	res, err := Execute(c, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 cannot finish before rank 0's delayed write.
+	if res.PerRank[1] < 300*sim.Millisecond {
+		t.Fatalf("dependency ignored: rank1 elapsed %v", res.PerRank[1])
+	}
+}
+
+func TestValidateRejectsBadTraces(t *testing.T) {
+	cases := []func(tr *Trace){
+		func(tr *Trace) { tr.Ranks = 0 },
+		func(tr *Trace) { tr.Ops = tr.Ops[:1] },
+		func(tr *Trace) { tr.Deps = []Dep{{FromRank: 9, ToRank: 0}} },
+		func(tr *Trace) { tr.Deps = []Dep{{FromRank: 0, FromOp: 99, ToRank: 1}} },
+		func(tr *Trace) { tr.Deps = []Dep{{FromRank: 0, FromOp: 0, ToRank: 1, ToOp: 99}} },
+		func(tr *Trace) { tr.Deps = []Dep{{FromRank: 1, FromOp: 0, ToRank: 1, ToOp: 1}} },
+	}
+	for i, mutate := range cases {
+		tr := simpleTrace(2)
+		mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := simpleTrace(3)
+	tr.Deps = []Dep{{FromRank: 0, FromOp: 1, ToRank: 2, ToOp: 1}}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ranks != 3 || got.OpCount() != tr.OpCount() || len(got.Deps) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.OriginalElapsed != tr.OriginalElapsed {
+		t.Fatalf("elapsed lost: %v", got.OriginalElapsed)
+	}
+	if got.Ops[1][1].Offset != 65536 || got.Ops[1][1].Bytes != 65536 {
+		t.Fatalf("op fields lost: %+v", got.Ops[1][1])
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, src := range []string{
+		"garbage\n",
+		"# partrace replayable v1 ranks=2 original_elapsed=5\nR9 compute=0 open \"/f\" off=0 len=0\n",
+		"# partrace replayable v1 ranks=1 original_elapsed=5\nR0 compute=0 explode \"/f\" off=0 len=0\n",
+		"# partrace replayable v1 ranks=1 original_elapsed=5\nDEP 0:0 -> 5:0\n",
+	} {
+		if _, err := ParseText(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// Property: text round-trip preserves op streams for random small traces.
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := int(seed)
+		ranks := rng%3 + 1
+		tr := &Trace{Ranks: ranks, Ops: make([][]Op, ranks), OriginalElapsed: sim.Duration(seed)}
+		kinds := []OpKind{OpOpen, OpWrite, OpRead, OpClose}
+		for r := 0; r < ranks; r++ {
+			nOps := (rng>>2)%4 + 1
+			for i := 0; i < nOps; i++ {
+				tr.Ops[r] = append(tr.Ops[r], Op{
+					Kind:    kinds[(rng+i)%4],
+					Compute: sim.Duration((rng * (i + 1)) % 10000),
+					Path:    "/pfs/x",
+					Offset:  int64(i * 100),
+					Bytes:   int64(rng % 5000),
+				})
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteText(&buf); err != nil {
+			return false
+		}
+		got, err := ParseText(&buf)
+		if err != nil {
+			return false
+		}
+		if got.OpCount() != tr.OpCount() {
+			return false
+		}
+		for r := range tr.Ops {
+			for i := range tr.Ops[r] {
+				if got.Ops[r][i] != tr.Ops[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFidelityMetric(t *testing.T) {
+	if Fidelity(100, 106) != 0.06 {
+		t.Fatalf("fidelity = %v", Fidelity(100, 106))
+	}
+	if Fidelity(100, 94) != 0.06 {
+		t.Fatalf("fidelity abs = %v", Fidelity(100, 94))
+	}
+	if Fidelity(0, 50) != 0 {
+		t.Fatal("zero original should yield 0")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for _, k := range []OpKind{OpOpen, OpWrite, OpRead, OpClose} {
+		parsed, err := parseKind(k.String())
+		if err != nil || parsed != k {
+			t.Fatalf("kind %v round trip failed", k)
+		}
+	}
+	if _, err := parseKind("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWriteWithoutOpenAutoOpens(t *testing.T) {
+	tr := &Trace{
+		Ranks:           1,
+		Ops:             [][]Op{{{Kind: OpWrite, Path: "/pfs/auto", Bytes: 4096}}},
+		OriginalElapsed: sim.Second,
+	}
+	c := testCluster()
+	if _, err := Execute(c, tr); err != nil {
+		t.Fatal(err)
+	}
+	size, _, _, ok := c.PFS.Snapshot("/pfs/auto")
+	if !ok || size != 4096 {
+		t.Fatalf("auto-open write failed: %d %v", size, ok)
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// Create one with NewEnv, spawn processes with Go, and advance time with Run
+// or RunUntil. An Env must not be shared between real OS threads while
+// running; the kernel enforces a strict one-runner-at-a-time discipline
+// internally.
+type Env struct {
+	now   Time
+	queue eventHeap
+	seq   uint64
+	rng   *rand.Rand
+
+	// yield is the handshake channel on which the currently running process
+	// signals that it has blocked or finished, returning control to the
+	// scheduler. It is unbuffered; strict alternation means there is never
+	// more than one pending signal.
+	yield chan struct{}
+
+	procs   map[*Proc]struct{} // live (started, not finished) processes
+	running bool
+	stopped bool
+	nextPID int
+}
+
+// NewEnv returns an environment whose random source is seeded with seed.
+// The same seed and the same program yield an identical event history.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// schedule enqueues fn to run at instant at. Scheduling in the past is a
+// programming error.
+func (e *Env) schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.queue.Push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// At schedules fn to run as a pure event (not a process) at instant at.
+func (e *Env) At(at Time, fn func()) { e.schedule(at, fn) }
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Env) After(d Duration, fn func()) { e.schedule(e.now+d, fn) }
+
+// Run processes events until the queue is empty. It returns the final
+// virtual time. Processes still blocked when the queue drains are killed.
+func (e *Env) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil processes all events with timestamps <= deadline and then stops,
+// killing any process still blocked. It returns the virtual time of the last
+// event processed (or deadline if it is not MaxTime and events remain).
+func (e *Env) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	if e.stopped {
+		panic("sim: environment already stopped")
+	}
+	e.running = true
+	for e.queue.Len() > 0 && e.queue.Peek().at <= deadline {
+		ev := e.queue.Pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	if deadline != MaxTime && deadline > e.now {
+		e.now = deadline
+	}
+	e.running = false
+	e.Stop()
+	return e.now
+}
+
+// Stop kills all still-blocked processes so their goroutines exit. It is
+// called automatically at the end of Run/RunUntil and is idempotent.
+func (e *Env) Stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for p := range e.procs {
+		close(p.resume) // parked process observes the close and unwinds
+		<-e.yield       // wait for its wrapper to hand control back
+	}
+	e.procs = make(map[*Proc]struct{})
+}
+
+// Pending reports the number of queued events; useful in tests.
+func (e *Env) Pending() int { return e.queue.Len() }

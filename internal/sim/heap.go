@@ -1,0 +1,75 @@
+package sim
+
+// event is a scheduled callback. Events are ordered by time, then by the
+// sequence number assigned at scheduling, which makes the simulation
+// deterministic: ties are broken in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap of events keyed on (at, seq). It is
+// hand-rolled rather than using container/heap to avoid interface boxing on
+// the hottest path in the simulator.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts an event, restoring the heap property.
+func (h *eventHeap) Push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty heap;
+// callers check Len first.
+func (h *eventHeap) Pop() event {
+	n := len(h.ev)
+	top := h.ev[0]
+	h.ev[0] = h.ev[n-1]
+	h.ev[n-1] = event{} // release the closure for GC
+	h.ev = h.ev[:n-1]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}
+
+// Peek returns the earliest event without removing it.
+func (h *eventHeap) Peek() event { return h.ev[0] }

@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// errKilled is the sentinel recovered by the process wrapper when the
+// environment shuts a blocked process down.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: process killed at shutdown" }
+
+// Proc is a simulated process: a goroutine that runs in strict alternation
+// with the scheduler. All blocking methods (Sleep, Resource.Acquire,
+// Mailbox.Get, ...) must be called from the process's own goroutine.
+type Proc struct {
+	env    *Env
+	pid    int
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Go spawns fn as a new simulated process starting at the current virtual
+// time. The returned Proc identifies the process; fn receives it for calling
+// blocking primitives.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Go after environment stopped")
+	}
+	e.nextPID++
+	p := &Proc{env: e, pid: e.nextPID, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); !ok {
+					// Re-panic on the scheduler side would deadlock the
+					// handshake, so decorate and crash here.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			p.done = true
+			e.yield <- struct{}{}
+		}()
+		if _, ok := <-p.resume; !ok {
+			panic(killedError{})
+		}
+		fn(p)
+	}()
+	// First activation is a normal scheduled event at the current time.
+	e.schedule(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands the CPU to p and waits for it to block or finish.
+func (e *Env) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+	if p.done {
+		delete(e.procs, p)
+	}
+}
+
+// park blocks the calling process until some event calls unpark (via
+// dispatch). It must only be called by p's own goroutine.
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	if _, ok := <-p.resume; !ok {
+		panic(killedError{})
+	}
+}
+
+// unpark schedules p to resume at the current virtual time.
+func (p *Proc) unpark() { p.env.schedule(p.env.now, func() { p.env.dispatch(p) }) }
+
+// unparkAt schedules p to resume at instant at.
+func (p *Proc) unparkAt(at Time) { p.env.schedule(at, func() { p.env.dispatch(p) }) }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// PID returns the process's unique id within its environment.
+func (p *Proc) PID() int { return p.pid }
+
+// Sleep suspends the process for d nanoseconds of virtual time. Negative
+// durations sleep zero time but still yield to the scheduler.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.unparkAt(p.env.now + d)
+	p.park()
+}
+
+// Yield gives other ready processes a chance to run at the same instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// String implements fmt.Stringer.
+func (p *Proc) String() string { return fmt.Sprintf("proc(%d,%s)", p.pid, p.name) }

@@ -1,0 +1,184 @@
+package sim
+
+// Resource is a FIFO server with fixed capacity, the workhorse for modelling
+// contended hardware: a disk head, a network link, a CPU. Acquire blocks the
+// calling process while the resource is saturated; waiters are served in
+// arrival order, which keeps the simulation deterministic.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Acquire obtains one unit of the resource, blocking p until available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+}
+
+// Release returns one unit, waking the longest-waiting process if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		w.unpark() // unit passes directly to the waiter; inUse unchanged
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release without Acquire")
+	}
+	r.inUse--
+}
+
+// Use runs fn while holding one unit of the resource.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}
+
+// HoldFor occupies one unit of the resource for d virtual nanoseconds: the
+// standard pattern for a store-and-forward hop or a disk transfer.
+func (r *Resource) HoldFor(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of blocked waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Mailbox is an unbounded FIFO of messages with blocking receive. Sends
+// never block (use a Resource to model transmission time); receives block
+// until a message arrives. Multiple receivers are served in FIFO order.
+type Mailbox[T any] struct {
+	env   *Env
+	items []T
+	recvq []*Proc
+}
+
+// NewMailbox returns an empty mailbox bound to env.
+func NewMailbox[T any](env *Env) *Mailbox[T] {
+	return &Mailbox[T]{env: env}
+}
+
+// Put deposits v and wakes one waiting receiver if present. Put may be
+// called from a process or from a pure scheduled event.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	if len(m.recvq) > 0 {
+		w := m.recvq[0]
+		copy(m.recvq, m.recvq[1:])
+		m.recvq = m.recvq[:len(m.recvq)-1]
+		w.unpark()
+	}
+}
+
+// Get removes and returns the oldest message, blocking p until one exists.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.recvq = append(m.recvq, p)
+		p.park()
+	}
+	v := m.items[0]
+	copy(m.items, m.items[1:])
+	var zero T
+	m.items[len(m.items)-1] = zero
+	m.items = m.items[:len(m.items)-1]
+	return v
+}
+
+// TryGet removes and returns the oldest message without blocking; ok is
+// false when the mailbox is empty.
+func (m *Mailbox[T]) TryGet() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	copy(m.items, m.items[1:])
+	var zero T
+	m.items[len(m.items)-1] = zero
+	m.items = m.items[:len(m.items)-1]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox[T]) Len() int { return len(m.items) }
+
+// Signal is a broadcast condition: processes Wait on it and a later Fire
+// releases every current waiter at once. Fires with no waiters are not
+// remembered (it is a condition variable, not a latch).
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// Fire wakes every process currently waiting, in wait order.
+func (s *Signal) Fire() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w.unpark()
+	}
+}
+
+// Waiting reports the number of blocked processes.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Latch is a one-shot gate: Open releases all present and future waiters.
+type Latch struct {
+	env    *Env
+	open   bool
+	signal *Signal
+}
+
+// NewLatch returns a closed latch.
+func NewLatch(env *Env) *Latch {
+	return &Latch{env: env, signal: NewSignal(env)}
+}
+
+// Wait blocks p until the latch opens; returns immediately if already open.
+func (l *Latch) Wait(p *Proc) {
+	if l.open {
+		return
+	}
+	l.signal.Wait(p)
+}
+
+// Open releases all waiters; idempotent.
+func (l *Latch) Open() {
+	if l.open {
+		return
+	}
+	l.open = true
+	l.signal.Fire()
+}
+
+// Opened reports whether the latch has been opened.
+func (l *Latch) Opened() bool { return l.open }

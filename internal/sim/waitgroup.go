@@ -1,0 +1,54 @@
+package sim
+
+// WaitGroup counts outstanding simulated tasks; Wait blocks a process until
+// the count returns to zero. Deterministic analogue of sync.WaitGroup.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group bound to env.
+func NewWaitGroup(env *Env) *WaitGroup { return &WaitGroup{env: env} }
+
+// Add increments the task count by n (n may be negative; Done is Add(-1)).
+func (wg *WaitGroup) Add(n int) {
+	wg.count += n
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w.unpark()
+		}
+	}
+}
+
+// Done decrements the task count.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks p until the count is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park()
+	}
+}
+
+// ForkJoin spawns one child process per element of fns and blocks p until
+// all children finish: the standard pattern for a client issuing parallel
+// requests (e.g. striped writes to several servers).
+func ForkJoin(p *Proc, name string, fns ...func(child *Proc)) {
+	wg := NewWaitGroup(p.env)
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		fn := fn
+		p.env.Go(name, func(child *Proc) {
+			defer wg.Done()
+			fn(child)
+		})
+	}
+	wg.Wait(p)
+}

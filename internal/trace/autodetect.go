@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// Format identifies a trace stream encoding.
+type Format int
+
+// The stream formats.
+const (
+	FormatUnknown Format = iota
+	FormatText
+	FormatBinary
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectFormat sniffs a stream's format from its first bytes without
+// consuming them; the returned reader replays the full stream.
+func DetectFormat(r io.Reader) (Format, io.Reader) {
+	br := bufio.NewReader(r)
+	head, _ := br.Peek(len(binaryMagic))
+	if bytes.Equal(head, binaryMagic[:]) {
+		return FormatBinary, br
+	}
+	if len(head) > 0 {
+		return FormatText, br
+	}
+	return FormatUnknown, br
+}
+
+// ReadAuto decodes a trace stream of either format, returning the records
+// and the detected format.
+func ReadAuto(r io.Reader) ([]Record, Format, error) {
+	format, rr := DetectFormat(r)
+	switch format {
+	case FormatBinary:
+		recs, err := NewBinaryReader(rr).ReadAll()
+		return recs, format, err
+	case FormatText:
+		recs, err := NewTextReader(rr).ReadAll()
+		return recs, format, err
+	default:
+		return nil, format, io.EOF
+	}
+}

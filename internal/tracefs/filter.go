@@ -1,0 +1,386 @@
+package tracefs
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"iotaxo/internal/trace"
+)
+
+// The granularity filter language — the "flexible declarative syntax ...
+// for user-level specification of file system operations to be traced"
+// that earns Tracefs its "5 (V. Advanced)" granularity rating.
+//
+// Grammar:
+//
+//	expr  := or
+//	or    := and ( "||" and )*
+//	and   := unary ( "&&" unary )*
+//	unary := "!" unary | "(" expr ")" | pred
+//	pred  := field cmp value
+//	       | field "in" "{" value ("," value)* "}"
+//	       | field "~" glob
+//	field := op | path | bytes | offset | uid | gid | node | rank
+//	cmp   := "==" | "!=" | ">=" | "<=" | ">" | "<"
+//
+// Examples:
+//
+//	op in {read, write} && path ~ "/pfs/*"
+//	bytes >= 4096 || op == unlink
+//	!(op == statfs)
+//
+// "op" matches the short operation name ("open", "read", ...), i.e. the
+// record name with its "VFS_" prefix stripped.
+
+// Filter is a compiled predicate over trace records.
+type Filter struct {
+	src  string
+	eval func(*trace.Record) bool
+}
+
+// CompileFilter parses and compiles a filter expression. An empty source
+// compiles to match-everything.
+func CompileFilter(src string) (*Filter, error) {
+	trimmed := strings.TrimSpace(src)
+	if trimmed == "" {
+		return &Filter{src: src, eval: func(*trace.Record) bool { return true }}, nil
+	}
+	p := &parser{toks: lex(trimmed)}
+	eval, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("tracefs: filter %q: %w", src, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("tracefs: filter %q: trailing tokens at %q", src, p.peek().text)
+	}
+	return &Filter{src: src, eval: eval}, nil
+}
+
+// MustCompileFilter panics on error; for tests and constants.
+func MustCompileFilter(src string) *Filter {
+	f, err := CompileFilter(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Match evaluates the filter on a record.
+func (f *Filter) Match(r *trace.Record) bool { return f.eval(r) }
+
+// String returns the source expression.
+func (f *Filter) String() string { return f.src }
+
+// --- lexer ---
+
+type token struct {
+	text string
+	kind tokenKind
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+	tokEOF
+)
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j < len(src) {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j], kind: tokString})
+			i = j
+		case strings.ContainsRune("(){},", rune(c)):
+			toks = append(toks, token{text: string(c), kind: tokOp})
+			i++
+		case strings.ContainsRune("&|=!<>~", rune(c)):
+			j := i + 1
+			for j < len(src) && strings.ContainsRune("&|=!<>~", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j], kind: tokOp})
+			i = j
+		case c >= '0' && c <= '9' || c == '-':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == 'K' || src[j] == 'M' || src[j] == 'G') {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j], kind: tokNumber})
+			i = j
+		default:
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.' || src[j] == '/' || src[j] == '*') {
+				j++
+			}
+			if j == i { // unknown byte: emit as op token to fail in parser
+				toks = append(toks, token{text: string(c), kind: tokOp})
+				i++
+				continue
+			}
+			toks = append(toks, token{text: src[i:j], kind: tokIdent})
+			i = j
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) eof() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expect(text string) error {
+	if p.peek().text != text {
+		return fmt.Errorf("expected %q, got %q", text, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+type predFn = func(*trace.Record) bool
+
+func (p *parser) parseOr() (predFn, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "||" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(rec *trace.Record) bool { return l(rec) || r(rec) }
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (predFn, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().text == "&&" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l, r := left, right
+		left = func(rec *trace.Record) bool { return l(rec) && r(rec) }
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (predFn, error) {
+	switch {
+	case p.peek().text == "!":
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return func(rec *trace.Record) bool { return !inner(rec) }, nil
+	case p.peek().text == "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parsePred()
+	}
+}
+
+// knownFields maps field names to record accessors.
+var stringFields = map[string]func(*trace.Record) string{
+	"op":   func(r *trace.Record) string { return strings.TrimPrefix(r.Name, "VFS_") },
+	"path": func(r *trace.Record) string { return r.Path },
+	"node": func(r *trace.Record) string { return r.Node },
+}
+
+var intFields = map[string]func(*trace.Record) int64{
+	"bytes":  func(r *trace.Record) int64 { return r.Bytes },
+	"offset": func(r *trace.Record) int64 { return r.Offset },
+	"uid":    func(r *trace.Record) int64 { return int64(r.UID) },
+	"gid":    func(r *trace.Record) int64 { return int64(r.GID) },
+	"rank":   func(r *trace.Record) int64 { return int64(r.Rank) },
+}
+
+func (p *parser) parsePred() (predFn, error) {
+	fieldTok := p.next()
+	if fieldTok.kind != tokIdent {
+		return nil, fmt.Errorf("expected field name, got %q", fieldTok.text)
+	}
+	field := fieldTok.text
+	opTok := p.next()
+	op := opTok.text
+
+	strGet, isStr := stringFields[field]
+	intGet, isInt := intFields[field]
+	if !isStr && !isInt {
+		return nil, fmt.Errorf("unknown field %q", field)
+	}
+
+	switch op {
+	case "in":
+		if !isStr {
+			return nil, fmt.Errorf("field %q does not support 'in'", field)
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool)
+		for {
+			v := p.next()
+			if v.kind != tokIdent && v.kind != tokString {
+				return nil, fmt.Errorf("bad set member %q", v.text)
+			}
+			set[unquote(v.text)] = true
+			if p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return func(rec *trace.Record) bool { return set[strGet(rec)] }, nil
+
+	case "~":
+		if !isStr {
+			return nil, fmt.Errorf("field %q does not support '~'", field)
+		}
+		v := p.next()
+		if v.kind != tokString && v.kind != tokIdent {
+			return nil, fmt.Errorf("bad glob %q", v.text)
+		}
+		pattern := unquote(v.text)
+		if _, err := path.Match(pattern, "probe"); err != nil {
+			return nil, fmt.Errorf("bad glob %q: %w", pattern, err)
+		}
+		return func(rec *trace.Record) bool {
+			ok, _ := path.Match(pattern, strGet(rec))
+			if ok {
+				return true
+			}
+			// Allow trailing "/*" globs to match deeper hierarchies.
+			if strings.HasSuffix(pattern, "/*") {
+				return strings.HasPrefix(strGet(rec), strings.TrimSuffix(pattern, "*"))
+			}
+			return false
+		}, nil
+
+	case "==", "!=":
+		v := p.next()
+		if isStr && (v.kind == tokIdent || v.kind == tokString) {
+			want := unquote(v.text)
+			if op == "==" {
+				return func(rec *trace.Record) bool { return strGet(rec) == want }, nil
+			}
+			return func(rec *trace.Record) bool { return strGet(rec) != want }, nil
+		}
+		if isInt && v.kind == tokNumber {
+			n, err := parseSize(v.text)
+			if err != nil {
+				return nil, err
+			}
+			if op == "==" {
+				return func(rec *trace.Record) bool { return intGet(rec) == n }, nil
+			}
+			return func(rec *trace.Record) bool { return intGet(rec) != n }, nil
+		}
+		return nil, fmt.Errorf("type mismatch: %s %s %q", field, op, v.text)
+
+	case ">=", "<=", ">", "<":
+		if !isInt {
+			return nil, fmt.Errorf("field %q does not support %q", field, op)
+		}
+		v := p.next()
+		if v.kind != tokNumber {
+			return nil, fmt.Errorf("expected number, got %q", v.text)
+		}
+		n, err := parseSize(v.text)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case ">=":
+			return func(rec *trace.Record) bool { return intGet(rec) >= n }, nil
+		case "<=":
+			return func(rec *trace.Record) bool { return intGet(rec) <= n }, nil
+		case ">":
+			return func(rec *trace.Record) bool { return intGet(rec) > n }, nil
+		default:
+			return func(rec *trace.Record) bool { return intGet(rec) < n }, nil
+		}
+
+	default:
+		return nil, fmt.Errorf("unknown operator %q", op)
+	}
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// parseSize parses an integer with an optional K/M/G suffix.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return n * mult, nil
+}
