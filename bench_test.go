@@ -1,7 +1,7 @@
 package iotaxo_test
 
 // One benchmark per table and figure of the paper's evaluation section,
-// plus the ablations called out in DESIGN.md and micro-benchmarks of the
+// plus ablation benchmarks and micro-benchmarks of the
 // hot library paths. Benchmarks run heavily scaled-down configurations so
 // `go test -bench=. -benchmem` completes quickly; the key experimental
 // quantity of each benchmark is exposed via b.ReportMetric, and
@@ -9,6 +9,9 @@ package iotaxo_test
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -178,7 +181,7 @@ func BenchmarkParallelTraceFidelity(b *testing.B) {
 	b.ReportMetric(fid*100, "fidelity_err_%")
 }
 
-// --- Ablations from DESIGN.md ---
+// --- Ablations ---
 
 // BenchmarkAblationZeroCostHooks shows the overhead curves collapse when
 // per-event interposition charges are removed: the design decision behind
@@ -309,6 +312,163 @@ func BenchmarkFilterMatch(b *testing.B) {
 			b.Fatal("filter should match")
 		}
 	}
+}
+
+// --- Streaming pipeline and parallel block codec ---
+
+// codecRecords builds a realistic multi-megabyte trace: varied paths,
+// strided offsets, a mix of call types. ~70 encoded bytes per record.
+func codecRecords(n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	names := []string{"SYS_pwrite", "SYS_pread", "MPI_File_write_at", "VFS_write"}
+	for i := range recs {
+		name := names[i%len(names)]
+		path := fmt.Sprintf("/pfs/out/rank%03d/part-%04d.dat", i%64, i%1024)
+		recs[i] = trace.Record{
+			Time: sim.Time(i) * sim.Microsecond, Dur: 30 * sim.Microsecond,
+			Node: fmt.Sprintf("host%02d.lanl.gov", i%32), Rank: i % 64, PID: 9000 + i%64,
+			Class: trace.ClassSyscall, Name: name,
+			Args: []string{"3", fmt.Sprint(int64(i) * 65536), "65536"}, Ret: "65536",
+			Path: path, Offset: int64(i) * 65536, Bytes: 65536, UID: 500, GID: 500,
+		}
+	}
+	return recs
+}
+
+// BenchmarkBinaryCodecWriter compares the serial block encoder against the
+// worker-pool encoder on a multi-MB compressed trace: the tentpole's
+// headline speedup. Both produce byte-identical output.
+func BenchmarkBinaryCodecWriter(b *testing.B) {
+	recs := codecRecords(60000)
+	opts := trace.BinaryOptions{Compress: true, RecordsPerBlock: 512}
+	var encoded int64
+	{
+		var buf bytes.Buffer
+		trace.WriteAll(trace.NewBinaryWriter(&buf, opts), recs)
+		encoded = int64(buf.Len())
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(encoded)
+		for i := 0; i < b.N; i++ {
+			if err := trace.WriteAll(trace.NewBinaryWriter(io.Discard, opts), recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(encoded)
+		for i := 0; i < b.N; i++ {
+			if err := trace.WriteAll(trace.NewParallelBinaryWriter(io.Discard, opts, 0), recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBinaryCodecReader compares serial and prefetching worker-pool
+// decode of the same compressed stream.
+func BenchmarkBinaryCodecReader(b *testing.B) {
+	recs := codecRecords(60000)
+	opts := trace.BinaryOptions{Compress: true, RecordsPerBlock: 512}
+	var buf bytes.Buffer
+	if err := trace.WriteAll(trace.NewBinaryWriter(&buf, opts), recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	drain := func(src trace.Source) error {
+		_, err := trace.Copy(trace.SinkFunc(func(r *trace.Record) error { return nil }), src)
+		return err
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := drain(trace.NewBinaryReader(bytes.NewReader(data))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := drain(trace.NewParallelBinaryReader(bytes.NewReader(data), 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBinaryConversionMemory demonstrates the memory contract of the
+// cmd/traceconv streaming path: converting binary to text holds O(block)
+// records live, while the seed's load-everything path holds O(trace). The
+// peak_live_MB metric is live heap above baseline at the conversion's
+// high-water mark (sampled under forced GC).
+func BenchmarkBinaryConversionMemory(b *testing.B) {
+	recs := codecRecords(100000)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(trace.NewBinaryWriter(&buf, trace.BinaryOptions{RecordsPerBlock: 512}), recs); err != nil {
+		b.Fatal(err)
+	}
+	recs = nil
+	data := buf.Bytes()
+
+	liveAbove := func(base uint64) float64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc < base {
+			return 0
+		}
+		return float64(ms.HeapAlloc-base) / 1e6
+	}
+	baseline := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	b.Run("slice", func(b *testing.B) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			base := baseline()
+			all, err := trace.NewBinaryReader(bytes.NewReader(data)).ReadAll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The whole trace is live here — the high-water mark.
+			if mb := liveAbove(base); mb > peak {
+				peak = mb
+			}
+			w := trace.NewTextSink(io.Discard)
+			for j := range all {
+				w.Write(&all[j])
+			}
+			w.Close()
+		}
+		b.ReportMetric(peak, "peak_live_MB")
+	})
+	b.Run("stream", func(b *testing.B) {
+		var peak float64
+		for i := 0; i < b.N; i++ {
+			base := baseline()
+			w := trace.NewTextSink(io.Discard)
+			var n int64
+			_, err := trace.Copy(trace.SinkFunc(func(r *trace.Record) error {
+				if n%20000 == 10000 { // sample mid-stream
+					if mb := liveAbove(base); mb > peak {
+						peak = mb
+					}
+				}
+				n++
+				return w.Write(r)
+			}), trace.NewBinaryReader(bytes.NewReader(data)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Close()
+		}
+		b.ReportMetric(peak, "peak_live_MB")
+	})
 }
 
 // BenchmarkCollectiveIOAblation reports the two-phase-I/O speedup at

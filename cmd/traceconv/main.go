@@ -2,6 +2,12 @@
 // formats the taxonomy distinguishes, and runs anonymization passes over
 // them — the workflow behind LANL's anonymized trace releases.
 //
+// The tool is a single streaming pass: records are pulled from the input
+// decoder, through the optional anonymization transform, and pushed into the
+// statistics folds and the output encoder one at a time. Memory stays
+// O(block), not O(trace), so multi-gigabyte traces convert in constant
+// space; binary encoding fans out across a worker pool.
+//
 // Usage:
 //
 //	traceconv -in raw.trace -stats
@@ -27,6 +33,8 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	to := flag.String("to", "", "convert to format: text | binary")
 	compress := flag.Bool("compress", false, "compress binary output")
+	workers := flag.Int("workers", 0, "binary codec worker goroutines (0 = GOMAXPROCS)")
+	blockRecs := flag.Int("block", 0, "records per binary output block (0 = default 512)")
 	stats := flag.Bool("stats", false, "print a call summary and I/O statistics")
 	anonSpec := flag.String("anonymize", "", "fields to anonymize (e.g. path,uid,gid or all)")
 	mode := flag.String("mode", "randomize", "anonymization mode: randomize | encrypt")
@@ -38,11 +46,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceconv: -in is required")
 		os.Exit(2)
 	}
-	recs, wasBinary, err := readTrace(*in)
+	f, err := os.Open(*in)
 	if err != nil {
 		fail(err)
 	}
+	defer f.Close()
+	src, format, err := trace.OpenAuto(f)
+	if err != nil {
+		fail(err)
+	}
+	input := src // keep the decoder handle for its block count
 
+	// Optional anonymization transform in the stream.
 	anonymized := false
 	if *anonSpec != "" {
 		spec, err := anonymize.ParseSpec(*anonSpec)
@@ -65,76 +80,96 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown -mode %q", *mode))
 		}
-		recs = anonymize.Records(recs, a)
+		src = trace.TransformSource(src, anonymize.Transform(a))
 		anonymized = true
 	}
 
+	// Assemble the sink fan-out: statistics folds and/or the re-encoder.
+	var sinks []trace.Sink
+	sum := analysis.NewCallSummary()
+	ioStats := analysis.NewIOStats()
 	if *stats {
-		fmt.Printf("# %d records (%s input)\n", len(recs), formatName(wasBinary))
-		fmt.Print(analysis.Summarize(recs).Format())
-		st := analysis.ComputeIOStats(recs)
-		fmt.Printf("# I/O: %d calls, %d bytes (%d read / %d written), %d distinct paths\n",
-			st.Calls, st.Bytes, st.ReadBytes, st.WriteBytes, len(st.DistinctPath))
-		if *to == "" && *anonSpec == "" {
-			return
-		}
+		sinks = append(sinks, sum.Sink(), ioStats.Sink())
 	}
 
 	target := *to
-	if target == "" {
-		if *anonSpec == "" {
-			return
+	if target == "" && anonymized {
+		if format == trace.FormatUnknown {
+			target = "text" // empty input: emit a valid (empty) text trace
+		} else {
+			target = format.String() // keep input format
 		}
-		target = formatName(wasBinary) // keep input format
 	}
-	w, closeFn, err := openOut(*out)
-	if err != nil {
-		fail(err)
-	}
-	defer closeFn()
+	var binOut *trace.ParallelBinaryWriter
+	var closeOut func()
 	switch target {
+	case "":
+		if !*stats {
+			return // nothing to do
+		}
 	case "text":
-		if err := writeText(w, recs); err != nil {
+		w, cl, err := openOut(*out)
+		if err != nil {
 			fail(err)
 		}
+		closeOut = cl
+		sinks = append(sinks, trace.NewTextSink(w))
 	case "binary":
-		bw := trace.NewBinaryWriter(w, trace.BinaryOptions{Compress: *compress, Anonymized: anonymized})
-		for i := range recs {
-			if err := bw.Write(&recs[i]); err != nil {
-				fail(err)
-			}
-		}
-		if err := bw.Close(); err != nil {
+		w, cl, err := openOut(*out)
+		if err != nil {
 			fail(err)
 		}
+		closeOut = cl
+		binOut = trace.NewParallelBinaryWriter(w, trace.BinaryOptions{
+			Compress:        *compress,
+			Anonymized:      anonymized,
+			RecordsPerBlock: *blockRecs,
+		}, *workers)
+		sinks = append(sinks, binOut)
 	default:
 		fail(fmt.Errorf("unknown -to format %q", target))
 	}
-}
 
-// readTrace auto-detects the input format by magic bytes.
-func readTrace(path string) ([]trace.Record, bool, error) {
-	f, err := os.Open(path)
+	// The single streaming pass.
+	dst := trace.TeeSink(sinks...)
+	records, err := trace.Copy(dst, src)
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if closeOut != nil {
+		closeOut()
+	}
 	if err != nil {
-		return nil, false, err
+		fail(err)
 	}
-	defer f.Close()
-	recs, format, err := trace.ReadAuto(f)
-	return recs, format == trace.FormatBinary, err
+
+	if *stats {
+		fmt.Printf("# %d records (%s input%s)\n", records, format, blockNote(input))
+		fmt.Print(sum.Format())
+		fmt.Printf("# I/O: %d calls, %d bytes (%d read / %d written), %d distinct paths\n",
+			ioStats.Calls, ioStats.Bytes, ioStats.ReadBytes, ioStats.WriteBytes,
+			len(ioStats.DistinctPath))
+	}
+	if target != "" {
+		fmt.Fprintf(os.Stderr, "traceconv: %d records -> %s%s\n",
+			records, target, writeNote(binOut))
+	}
 }
 
-func writeText(w io.Writer, recs []trace.Record) error {
-	node, rank, pid := "", -1, 0
-	if len(recs) > 0 {
-		node, rank, pid = recs[0].Node, recs[0].Rank, recs[0].PID
+// blockNote reports the input decoder's block count when it has one.
+func blockNote(src trace.Source) string {
+	if br, ok := src.(interface{ BlocksRead() int64 }); ok {
+		return fmt.Sprintf(", %d blocks", br.BlocksRead())
 	}
-	tw := trace.NewTextWriter(w, node, rank, pid)
-	for i := range recs {
-		if err := tw.Write(&recs[i]); err != nil {
-			return err
-		}
+	return ""
+}
+
+// writeNote reports the output encoder's block and byte counts.
+func writeNote(w *trace.ParallelBinaryWriter) string {
+	if w == nil {
+		return ""
 	}
-	return tw.Flush()
+	return fmt.Sprintf(" (%d blocks, %d bytes)", w.BlocksWritten(), w.BytesWritten())
 }
 
 func openOut(path string) (io.Writer, func(), error) {
@@ -146,13 +181,6 @@ func openOut(path string) (io.Writer, func(), error) {
 		return nil, nil, err
 	}
 	return f, func() { f.Close() }, nil
-}
-
-func formatName(binary bool) string {
-	if binary {
-		return "binary"
-	}
-	return "text"
 }
 
 func fail(err error) {

@@ -10,8 +10,8 @@
 // kernel/VFS layer, an MPI + MPI-IO library, and a RAID-5 parallel file
 // system with 252 drives and 64 KB stripes.
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
-// results. The root-level benchmarks in bench_test.go regenerate every
-// table and figure of the paper's evaluation section.
+// See README.md for a guided tour of the layers, the streaming trace
+// pipeline, and the command-line tools. The root-level benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation section.
 package iotaxo

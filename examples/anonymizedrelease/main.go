@@ -17,6 +17,7 @@ import (
 	"iotaxo/internal/clocks"
 	"iotaxo/internal/disk"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 	"iotaxo/internal/tracefs"
 	"iotaxo/internal/vfs"
 )
@@ -78,9 +79,18 @@ func main() {
 	}
 	fmt.Printf("key holder recovers record 0 path: %q\n", recovered)
 
-	// For a public release, apply true anonymization: consistent random
-	// pseudonyms with a salt that is then discarded.
-	public := anonymize.Records(recs, anonymize.NewRandomizer(spec, []byte("release-salt-2007")))
+	// For a public release, the key holder first decrypts the paths (each
+	// CBC value carries a unique IV, so encrypted strings never repeat and
+	// would defeat consistent pseudonyms), then applies true anonymization:
+	// consistent random pseudonyms with a salt that is then discarded.
+	cleartext := make([]trace.Record, len(recs))
+	for i := range recs {
+		cleartext[i] = recs[i].Clone()
+		if p, err := dec.DecryptValue(cleartext[i].Path); err == nil {
+			cleartext[i].Path = p
+		}
+	}
+	public := anonymize.Records(cleartext, anonymize.NewRandomizer(spec, []byte("release-salt-2007")))
 	fmt.Printf("\npublic release after randomization: %d records\n", len(public))
 	fmt.Printf("sensitive text visible: %v\n", anonymize.ContainsAny(public, sensitive))
 	fmt.Printf("record 0 path -> %q (structure preserved, content gone)\n", public[0].Path)

@@ -13,6 +13,7 @@ package aggregate
 
 import (
 	"fmt"
+	"io"
 	"path"
 	"sort"
 	"strings"
@@ -38,6 +39,10 @@ type Capabilities struct {
 type Source interface {
 	// Name identifies the producing framework.
 	Name() string
+	// Open returns a streaming cursor over the source's events. Each call
+	// returns an independent cursor; records are safe for the caller to
+	// mutate.
+	Open() (trace.Source, error)
 	// Records returns the source's events. Implementations return copies;
 	// callers may mutate the result.
 	Records() ([]trace.Record, error)
@@ -53,34 +58,57 @@ type Event struct {
 
 // --- adapters ---
 
-// recordsSource is the generic adapter.
-type recordsSource struct {
+// streamSource is the generic adapter: open returns a fresh streaming
+// cursor each call. Each open func must yield records the caller may
+// mutate — sources backed by shared storage clone on the way out (lead
+// with trace.CloneTransform); decoders and generators that produce fresh
+// records per pull need not pay for a second copy.
+type streamSource struct {
 	name string
 	caps Capabilities
-	get  func() ([]trace.Record, error)
+	open func() (trace.Source, error)
 }
 
-func (s *recordsSource) Name() string               { return s.name }
-func (s *recordsSource) Capabilities() Capabilities { return s.caps }
-func (s *recordsSource) Records() ([]trace.Record, error) {
-	recs, err := s.get()
+func (s *streamSource) Name() string               { return s.name }
+func (s *streamSource) Capabilities() Capabilities { return s.caps }
+
+func (s *streamSource) Open() (trace.Source, error) {
+	return s.open()
+}
+
+func (s *streamSource) Records() ([]trace.Record, error) {
+	src, err := s.Open()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]trace.Record, len(recs))
-	for i := range recs {
-		out[i] = recs[i].Clone()
+	recs, err := trace.Collect(src)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	if recs == nil {
+		recs = []trace.Record{}
+	}
+	return recs, nil
 }
 
 // FromRecords wraps a plain record slice (e.g. parsed from a file).
 func FromRecords(name string, recs []trace.Record, caps Capabilities) Source {
-	return &recordsSource{
+	return &streamSource{
 		name: name,
 		caps: caps,
-		get:  func() ([]trace.Record, error) { return recs, nil },
+		open: func() (trace.Source, error) {
+			// The slice's storage is shared; clone so callers may mutate.
+			return trace.TransformSource(trace.SliceSource(recs), trace.CloneTransform), nil
+		},
 	}
+}
+
+// FromStream wraps a streaming source factory directly — the adapter for
+// on-disk traces that should never be materialized whole. The factory's
+// records must be safe for callers to mutate; wrap shared storage with
+// trace.CloneTransform.
+func FromStream(name string, caps Capabilities, open func() (trace.Source, error)) Source {
+	return &streamSource{name: name, caps: caps, open: open}
 }
 
 // FromLANLTrace adapts a LANL-Trace report. Skew correction uses the
@@ -91,16 +119,18 @@ func FromLANLTrace(rep *lanltrace.Report) Source {
 		EventClasses:  []trace.EventClass{trace.ClassSyscall, trace.ClassLibCall, trace.ClassMPI},
 		SkewCorrected: true,
 	}
-	return &recordsSource{
+	return &streamSource{
 		name: "LANL-Trace",
 		caps: caps,
-		get: func() ([]trace.Record, error) {
+		open: func() (trace.Source, error) {
 			est, err := rep.ClockEstimates()
 			if err != nil {
-				// No timing job: fall back to raw local timestamps.
-				return rep.AllRecords(), nil
+				// No timing job: fall back to raw local timestamps. The
+				// collectors' storage is shared, so clone on the way out
+				// (CorrectingSource below already does).
+				return trace.TransformSource(rep.RecordSource(), trace.CloneTransform), nil
 			}
-			return analysis.CorrectTimeline(rep.AllRecords(), est), nil
+			return analysis.CorrectingSource(rep.RecordSource(), est), nil
 		},
 	}
 }
@@ -109,22 +139,19 @@ func FromLANLTrace(rep *lanltrace.Report) Source {
 // awareness, so records stay on the node's local clock; node labels the
 // records since the layer itself does not know its host.
 func FromTracefs(fs *tracefs.FS, node string, clock *clocks.Clock) Source {
-	return &recordsSource{
+	return &streamSource{
 		name: "Tracefs",
 		caps: Capabilities{
 			EventClasses: []trace.EventClass{trace.ClassFSOp},
 		},
-		get: func() ([]trace.Record, error) {
-			recs, err := fs.TraceRecords()
-			if err != nil {
-				return nil, err
-			}
-			for i := range recs {
-				if recs[i].Node == "" {
-					recs[i].Node = node
+		open: func() (trace.Source, error) {
+			label := trace.Transform(func(r *trace.Record) (bool, error) {
+				if r.Node == "" {
+					r.Node = node
 				}
-			}
-			return recs, nil
+				return true, nil
+			})
+			return trace.TransformSource(fs.OpenTrace(), label), nil
 		},
 	}
 }
@@ -133,44 +160,62 @@ func FromTracefs(fs *tracefs.FS, node string, clock *clocks.Clock) Source {
 // I/O record with timestamps reconstructed from the cumulative think times
 // (the best the format carries).
 func FromReplayable(tr *replay.Trace) Source {
-	return &recordsSource{
+	return &streamSource{
 		name: "//TRACE",
 		caps: Capabilities{
 			EventClasses: []trace.EventClass{trace.ClassMPI},
 			Replayable:   true,
 		},
-		get: func() ([]trace.Record, error) {
-			var out []trace.Record
-			for rank, ops := range tr.Ops {
-				var t sim.Time
-				for _, op := range ops {
-					t += op.Compute
-					name := ""
-					switch op.Kind {
-					case replay.OpOpen:
-						name = "MPI_File_open"
-					case replay.OpWrite:
-						name = "MPI_File_write_at"
-					case replay.OpRead:
-						name = "MPI_File_read_at"
-					case replay.OpClose:
-						name = "MPI_File_close"
-					}
-					out = append(out, trace.Record{
-						Time:   t,
-						Rank:   rank,
-						Class:  trace.ClassMPI,
-						Name:   name,
-						Path:   op.Path,
-						Offset: op.Offset,
-						Bytes:  op.Bytes,
-						Ret:    "0",
-					})
-				}
-			}
-			return out, nil
+		open: func() (trace.Source, error) {
+			return &replayableSource{tr: tr}, nil
 		},
 	}
+}
+
+// replayableSource generates one MPI record per op on demand, instead of
+// expanding the whole replayable trace up front.
+type replayableSource struct {
+	tr   *replay.Trace
+	rank int
+	op   int
+	t    sim.Time
+}
+
+func (s *replayableSource) Next() (trace.Record, error) {
+	for s.rank < len(s.tr.Ops) {
+		ops := s.tr.Ops[s.rank]
+		if s.op >= len(ops) {
+			s.rank++
+			s.op = 0
+			s.t = 0
+			continue
+		}
+		op := ops[s.op]
+		s.op++
+		s.t += op.Compute
+		name := ""
+		switch op.Kind {
+		case replay.OpOpen:
+			name = "MPI_File_open"
+		case replay.OpWrite:
+			name = "MPI_File_write_at"
+		case replay.OpRead:
+			name = "MPI_File_read_at"
+		case replay.OpClose:
+			name = "MPI_File_close"
+		}
+		return trace.Record{
+			Time:   s.t,
+			Rank:   s.rank,
+			Class:  trace.ClassMPI,
+			Name:   name,
+			Path:   op.Path,
+			Offset: op.Offset,
+			Bytes:  op.Bytes,
+			Ret:    "0",
+		}, nil
+	}
+	return trace.Record{}, io.EOF
 }
 
 // --- the aggregator ---
@@ -197,16 +242,23 @@ func (a *Aggregator) Sources() []string {
 	return out
 }
 
-// Merged returns all events ordered by timestamp with provenance.
+// Merged returns all events ordered by timestamp with provenance. Events
+// are pulled through each source's streaming cursor; the slice exists only
+// because a global sort needs random access.
 func (a *Aggregator) Merged() ([]Event, error) {
 	var out []Event
 	for _, s := range a.sources {
-		recs, err := s.Records()
+		src, err := s.Open()
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: source %s: %w", s.Name(), err)
 		}
-		for i := range recs {
-			out = append(out, Event{Record: recs[i], Source: s.Name()})
+		name := s.Name()
+		_, err = trace.Copy(trace.SinkFunc(func(r *trace.Record) error {
+			out = append(out, Event{Record: *r, Source: name})
+			return nil
+		}), src)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: source %s: %w", name, err)
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
@@ -290,17 +342,17 @@ type Summary struct {
 	Classes map[trace.EventClass]int
 }
 
-// Summarize reports per-source statistics.
+// Summarize reports per-source statistics, folding each source's stream in
+// O(1) memory.
 func (a *Aggregator) Summarize() ([]Summary, error) {
 	var out []Summary
 	for _, s := range a.sources {
-		recs, err := s.Records()
+		src, err := s.Open()
 		if err != nil {
 			return nil, fmt.Errorf("aggregate: source %s: %w", s.Name(), err)
 		}
 		sum := Summary{Source: s.Name(), Classes: make(map[trace.EventClass]int)}
-		for i := range recs {
-			r := &recs[i]
+		_, err = trace.Copy(trace.SinkFunc(func(r *trace.Record) error {
 			sum.Records++
 			sum.Classes[r.Class]++
 			if r.IsIO() {
@@ -312,6 +364,10 @@ func (a *Aggregator) Summarize() ([]Summary, error) {
 			if end := r.Time + r.Dur; end > sum.Last {
 				sum.Last = end
 			}
+			return nil
+		}), src)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: source %s: %w", s.Name(), err)
 		}
 		out = append(out, sum)
 	}

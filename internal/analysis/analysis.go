@@ -26,13 +26,31 @@ type CallSummary struct {
 	rows map[string]*SummaryRow
 }
 
+// NewCallSummary returns an empty summary ready for incremental Add calls.
+func NewCallSummary() *CallSummary {
+	return &CallSummary{rows: make(map[string]*SummaryRow)}
+}
+
 // Summarize builds a call summary over records.
 func Summarize(recs []trace.Record) *CallSummary {
-	s := &CallSummary{rows: make(map[string]*SummaryRow)}
-	for i := range recs {
-		s.Add(&recs[i])
-	}
+	s, _ := SummarizeSource(trace.SliceSource(recs))
 	return s
+}
+
+// SummarizeSource folds a record stream into a call summary with O(1)
+// memory per distinct call name.
+func SummarizeSource(src trace.Source) (*CallSummary, error) {
+	s := NewCallSummary()
+	_, err := trace.Copy(s.Sink(), src)
+	return s, err
+}
+
+// Sink exposes the summary as a streaming consumer.
+func (s *CallSummary) Sink() trace.Sink {
+	return trace.SinkFunc(func(r *trace.Record) error {
+		s.Add(r)
+		return nil
+	})
 }
 
 // Add folds one record into the summary.
@@ -74,17 +92,31 @@ func (s *CallSummary) Format() string {
 	return b.String()
 }
 
+// CorrectingTransform returns a transform mapping node-local timestamps
+// onto the reference timeline using per-node clock estimates. Records from
+// nodes without an estimate pass through unchanged.
+func CorrectingTransform(est map[string]clocks.Estimate) trace.Transform {
+	return func(r *trace.Record) (bool, error) {
+		if e, ok := est[r.Node]; ok {
+			r.Time = e.Correct(r.Time)
+		}
+		return true, nil
+	}
+}
+
+// CorrectingSource wraps src so records stream out skew-corrected (cloned,
+// leaving the producer's storage untouched).
+func CorrectingSource(src trace.Source, est map[string]clocks.Estimate) trace.Source {
+	return trace.TransformSource(src, trace.CloneTransform, CorrectingTransform(est))
+}
+
 // CorrectTimeline maps each record's node-local timestamp onto the
 // reference timeline using per-node clock estimates (from the LANL-Trace
-// barrier timing job). Records from nodes without an estimate are passed
-// through unchanged.
+// barrier timing job): the slice wrapper over CorrectingSource.
 func CorrectTimeline(recs []trace.Record, est map[string]clocks.Estimate) []trace.Record {
-	out := make([]trace.Record, len(recs))
-	for i, r := range recs {
-		out[i] = r.Clone()
-		if e, ok := est[r.Node]; ok {
-			out[i].Time = e.Correct(r.Time)
-		}
+	out, _ := trace.Collect(CorrectingSource(trace.SliceSource(recs), est))
+	if out == nil {
+		out = []trace.Record{}
 	}
 	return out
 }
@@ -110,27 +142,49 @@ type IOStats struct {
 	DistinctPath map[string]struct{}
 }
 
+// NewIOStats returns empty stats ready for incremental Add calls.
+func NewIOStats() *IOStats {
+	return &IOStats{DistinctPath: make(map[string]struct{})}
+}
+
+// Add folds one record into the stats.
+func (s *IOStats) Add(r *trace.Record) {
+	if !r.IsIO() {
+		return
+	}
+	s.Calls++
+	s.Bytes += r.Bytes
+	s.TimeInIO += r.Dur
+	if strings.Contains(r.Name, "read") || strings.Contains(r.Name, "Read") {
+		s.ReadBytes += r.Bytes
+	} else {
+		s.WriteBytes += r.Bytes
+	}
+	if r.Path != "" {
+		s.DistinctPath[r.Path] = struct{}{}
+	}
+}
+
+// Sink exposes the stats as a streaming consumer.
+func (s *IOStats) Sink() trace.Sink {
+	return trace.SinkFunc(func(r *trace.Record) error {
+		s.Add(r)
+		return nil
+	})
+}
+
 // ComputeIOStats scans records for I/O operations.
 func ComputeIOStats(recs []trace.Record) IOStats {
-	st := IOStats{DistinctPath: make(map[string]struct{})}
-	for i := range recs {
-		r := &recs[i]
-		if !r.IsIO() {
-			continue
-		}
-		st.Calls++
-		st.Bytes += r.Bytes
-		st.TimeInIO += r.Dur
-		if strings.Contains(r.Name, "read") || strings.Contains(r.Name, "Read") {
-			st.ReadBytes += r.Bytes
-		} else {
-			st.WriteBytes += r.Bytes
-		}
-		if r.Path != "" {
-			st.DistinctPath[r.Path] = struct{}{}
-		}
-	}
-	return st
+	st, _ := ComputeIOStatsSource(trace.SliceSource(recs))
+	return *st
+}
+
+// ComputeIOStatsSource folds a record stream into I/O statistics with
+// memory proportional to the number of distinct paths only.
+func ComputeIOStatsSource(src trace.Source) (*IOStats, error) {
+	st := NewIOStats()
+	_, err := trace.Copy(st.Sink(), src)
+	return st, err
 }
 
 // Bandwidth reports bytes moved per second of in-call time, 0 when unknown.

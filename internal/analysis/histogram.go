@@ -17,19 +17,41 @@ type SizeHistogram struct {
 	Bytes   int64
 }
 
+// NewSizeHistogram returns an empty histogram ready for incremental Add.
+func NewSizeHistogram() *SizeHistogram {
+	return &SizeHistogram{Buckets: make(map[int]int64)}
+}
+
+// Add folds one record into the histogram.
+func (h *SizeHistogram) Add(r *trace.Record) {
+	if !r.IsIO() {
+		return
+	}
+	h.Buckets[log2Ceil(r.Bytes)]++
+	h.Total++
+	h.Bytes += r.Bytes
+}
+
+// Sink exposes the histogram as a streaming consumer.
+func (h *SizeHistogram) Sink() trace.Sink {
+	return trace.SinkFunc(func(r *trace.Record) error {
+		h.Add(r)
+		return nil
+	})
+}
+
 // HistogramSizes builds a request-size histogram over the I/O records.
 func HistogramSizes(recs []trace.Record) SizeHistogram {
-	h := SizeHistogram{Buckets: make(map[int]int64)}
-	for i := range recs {
-		r := &recs[i]
-		if !r.IsIO() {
-			continue
-		}
-		h.Buckets[log2Ceil(r.Bytes)]++
-		h.Total++
-		h.Bytes += r.Bytes
-	}
-	return h
+	h, _ := HistogramSizesSource(trace.SliceSource(recs))
+	return *h
+}
+
+// HistogramSizesSource folds a record stream into the histogram with O(1)
+// memory per bucket.
+func HistogramSizesSource(src trace.Source) (*SizeHistogram, error) {
+	h := NewSizeHistogram()
+	_, err := trace.Copy(h.Sink(), src)
+	return h, err
 }
 
 func log2Ceil(n int64) int {

@@ -1,8 +1,8 @@
 package core
 
 // Built-in classifications transcribing the paper's Table 2 exactly. They
-// are the ground truth EXPERIMENTS.md compares measured values against, and
-// the baseline the framework implementations must match.
+// are the ground truth measured values are compared against, and the
+// baseline the framework implementations must match.
 
 // PaperLANLTrace returns the paper's classification of LANL-Trace.
 func PaperLANLTrace() *Classification {

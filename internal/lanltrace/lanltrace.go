@@ -208,27 +208,36 @@ func timingJob(p *sim.Proc, r *mpi.Rank) BarrierSample {
 	}
 }
 
-// RawTraceText renders rank's raw trace in the Figure 1 format, ordered by
-// call start time (an enclosing library call appears before the system
-// calls it issued, as ltrace's "<unfinished ...>" lines do).
-func (rep *Report) RawTraceText(rank int) string {
+// RankSource streams one rank's raw trace ordered by call start time (an
+// enclosing library call appears before the system calls it issued, as
+// ltrace's "<unfinished ...>" lines do).
+func (rep *Report) RankSource(rank int) trace.Source {
 	col := rep.PerRank[rank]
 	recs := make([]trace.Record, len(col.Records))
 	copy(recs, col.Records)
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
-	var b strings.Builder
-	var w *trace.TextWriter
-	if len(recs) > 0 {
-		w = trace.NewTextWriter(&b, recs[0].Node, recs[0].Rank, recs[0].PID)
-	} else {
-		w = trace.NewTextWriter(&b, "", rank, 0)
-	}
-	for i := range recs {
-		if err := w.Write(&recs[i]); err != nil {
-			break
+	return trace.SliceSource(recs)
+}
+
+// RecordSource streams every rank's records back to back (unsorted across
+// ranks, like reading the per-process trace files in sequence).
+func (rep *Report) RecordSource() trace.Source {
+	srcs := make([]trace.Source, 0, len(rep.PerRank))
+	for _, col := range rep.PerRank {
+		if col != nil {
+			srcs = append(srcs, col.Source())
 		}
 	}
-	w.Flush()
+	return trace.ChainSources(srcs...)
+}
+
+// RawTraceText renders rank's raw trace in the Figure 1 format by pumping
+// RankSource through a text sink.
+func (rep *Report) RawTraceText(rank int) string {
+	var b strings.Builder
+	w := trace.NewTextSink(&b)
+	trace.Copy(w, rep.RankSource(rank))
+	w.Close()
 	return b.String()
 }
 
@@ -270,21 +279,18 @@ func epoch(t sim.Time) string {
 		(ns%int64(sim.Second))/1000)
 }
 
-// CallSummaryText renders the summary-count output across all ranks.
+// CallSummaryText renders the summary-count output across all ranks,
+// folding the record stream without materializing it.
 func (rep *Report) CallSummaryText() string {
-	all := rep.AllRecords()
-	return analysis.Summarize(all).Format() +
-		fmt.Sprintf("# total traced records: %d\n", len(all))
+	sum := analysis.NewCallSummary()
+	n, _ := trace.Copy(sum.Sink(), rep.RecordSource())
+	return sum.Format() + fmt.Sprintf("# total traced records: %d\n", n)
 }
 
-// AllRecords merges all ranks' records, unsorted.
+// AllRecords merges all ranks' records, unsorted: the slice wrapper over
+// RecordSource.
 func (rep *Report) AllRecords() []trace.Record {
-	var out []trace.Record
-	for _, col := range rep.PerRank {
-		if col != nil {
-			out = append(out, col.Records...)
-		}
-	}
+	out, _ := trace.Collect(rep.RecordSource())
 	return out
 }
 

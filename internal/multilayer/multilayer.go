@@ -105,13 +105,14 @@ func rankOnNode(c *cluster.Cluster, node int) int {
 
 // fsLayer is the VFS-boundary probe: a thin instrumenting wrapper that
 // timestamps with the node's local clock so intervals nest consistently
-// with the syscall layer's records.
+// with the syscall layer's records. Records land in a Collector, the same
+// pipeline stand-in for a trace file the other two layers use.
 type fsLayer struct {
 	lower  vfs.Filesystem
 	kernel *vfs.Kernel
 	rank   int
 
-	Records []trace.Record
+	col interpose.Collector
 }
 
 func (f *fsLayer) FSName() string               { return f.lower.FSName() }
@@ -119,7 +120,7 @@ func (f *fsLayer) VNodeStackingSupported() bool { return vfs.CanStack(f.lower) }
 
 func (f *fsLayer) emit(name, path string, offset, bytes int64, start sim.Time, p *sim.Proc) {
 	local := f.kernel.LocalTime(start)
-	f.Records = append(f.Records, trace.Record{
+	f.col.Emit(&trace.Record{
 		Time:   local,
 		Dur:    p.Now() - start,
 		Node:   f.kernel.Node(),
@@ -199,6 +200,36 @@ func (h *fsLayerFile) Close(p *sim.Proc) error {
 
 func (h *fsLayerFile) Attr() vfs.FileAttr { return h.lower.Attr() }
 
+// LayerSource streams one layer's records across all ranks/nodes, in the
+// order they were collected — the per-layer trace file read back.
+func (s *Session) LayerSource(l Layer) trace.Source {
+	var srcs []trace.Source
+	switch l {
+	case LayerLibrary:
+		for _, c := range s.lib {
+			srcs = append(srcs, c.Source())
+		}
+	case LayerSyscall:
+		for _, c := range s.sys {
+			srcs = append(srcs, c.Source())
+		}
+	case LayerFS:
+		for _, fl := range s.fs {
+			srcs = append(srcs, fl.col.Source())
+		}
+	}
+	return trace.ChainSources(srcs...)
+}
+
+// AllSource streams every layer's records back to back.
+func (s *Session) AllSource() trace.Source {
+	return trace.ChainSources(
+		s.LayerSource(LayerLibrary),
+		s.LayerSource(LayerSyscall),
+		s.LayerSource(LayerFS),
+	)
+}
+
 // --- correlation ---
 
 // CallBreakdown attributes one MPI I/O call's latency across layers.
@@ -236,8 +267,8 @@ func (s *Session) Analyze() Breakdown {
 	// Index FS records by rank.
 	fsByRank := make(map[int][]trace.Record)
 	for _, fl := range s.fs {
-		for i := range fl.Records {
-			fsByRank[fl.rank] = append(fsByRank[fl.rank], fl.Records[i])
+		for i := range fl.col.Records {
+			fsByRank[fl.rank] = append(fsByRank[fl.rank], fl.col.Records[i])
 		}
 	}
 	for rank := range s.lib {

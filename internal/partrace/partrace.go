@@ -39,6 +39,10 @@ type Config struct {
 	// SampledRanks is the number of ranks probed with throttling runs
 	// (the sampling knob); 0 discovers no dependencies, -1 probes all.
 	SampledRanks int
+	// RawTrace, when set, receives every record of the baseline traced run
+	// as it is observed — the streaming raw-trace emitter. The sink is not
+	// closed by the framework; throttled discovery runs do not emit.
+	RawTrace trace.Sink
 }
 
 // DefaultConfig probes two ranks, the paper's implied sweet spot (~205%
@@ -92,6 +96,7 @@ type opEvent struct {
 type ioHook struct {
 	model    interpose.CostModel
 	throttle sim.Duration // nonzero during a dependency-discovery run
+	raw      *interpose.StreamSink
 	events   []opEvent
 	all      []opEvent // including non-I/O MPI calls, for think-time math
 	enterAt  sim.Time
@@ -126,6 +131,9 @@ func (h *ioHook) Exit(p *sim.Proc, rec *trace.Record) {
 		// Slow this node's I/O responses.
 		p.Sleep(h.throttle)
 	}
+	if h.raw != nil {
+		h.raw.Emit(rec)
+	}
 	ev := opEvent{
 		rec:         rec.Clone(),
 		localStart:  rec.Time,
@@ -140,19 +148,26 @@ func (h *ioHook) Exit(p *sim.Proc, rec *trace.Record) {
 }
 
 // runObserved executes one traced run and returns per-rank hooks + elapsed.
-func (f *Framework) runObserved(factory func() *cluster.Cluster, program func(*sim.Proc, *mpi.Rank), throttledRank int) ([]*ioHook, sim.Duration) {
+func (f *Framework) runObserved(factory func() *cluster.Cluster, program func(*sim.Proc, *mpi.Rank), throttledRank int) ([]*ioHook, sim.Duration, error) {
 	c := factory()
 	n := c.World.Size()
+	var raw *interpose.StreamSink
+	if f.cfg.RawTrace != nil && throttledRank < 0 {
+		raw = interpose.StreamTo(f.cfg.RawTrace)
+	}
 	hooks := make([]*ioHook, n)
 	for i := 0; i < n; i++ {
-		hooks[i] = &ioHook{model: f.cfg.Model}
+		hooks[i] = &ioHook{model: f.cfg.Model, raw: raw}
 		if i == throttledRank {
 			hooks[i].throttle = f.cfg.ThrottleDelay
 		}
 		c.World.Rank(i).AttachLibHook(hooks[i])
 	}
 	elapsed := c.World.RunToCompletion(program)
-	return hooks, elapsed
+	if raw != nil && raw.Err() != nil {
+		return hooks, elapsed, fmt.Errorf("partrace: raw trace sink: %w", raw.Err())
+	}
+	return hooks, elapsed, nil
 }
 
 // GenResult is the output of trace generation.
@@ -187,7 +202,10 @@ func (f *Framework) Generate(factory func() *cluster.Cluster, program func(*sim.
 	untraced := c0.World.RunToCompletion(program)
 
 	// Baseline traced run: the replayable trace's op streams.
-	baseHooks, baseElapsed := f.runObserved(factory, program, -1)
+	baseHooks, baseElapsed, err := f.runObserved(factory, program, -1)
+	if err != nil {
+		return nil, err
+	}
 	n := len(baseHooks)
 
 	res := &GenResult{UntracedElapsed: untraced, Runs: 1, TracingElapsed: baseElapsed}
@@ -199,7 +217,10 @@ func (f *Framework) Generate(factory func() *cluster.Cluster, program func(*sim.
 	}
 	var deps []replay.Dep
 	for probe := 0; probe < probes; probe++ {
-		thrHooks, thrElapsed := f.runObserved(factory, program, probe)
+		thrHooks, thrElapsed, err := f.runObserved(factory, program, probe)
+		if err != nil {
+			return nil, err
+		}
 		res.Runs++
 		res.TracingElapsed += thrElapsed
 		deps = append(deps, f.findDeps(baseHooks, thrHooks, probe)...)
@@ -313,7 +334,7 @@ func buildTrace(hooks []*ioHook, deps []replay.Dep, untraced sim.Duration) (*rep
 			if think < 0 {
 				think = 0
 			}
-			op, ok := opFromRecord(&ev.rec)
+			op, ok := replay.OpFromRecord(&ev.rec)
 			if ok {
 				op.Compute = think
 				tr.Ops[rank] = append(tr.Ops[rank], op)
@@ -326,20 +347,4 @@ func buildTrace(hooks []*ioHook, deps []replay.Dep, untraced sim.Duration) (*rep
 		return nil, fmt.Errorf("partrace: generated trace invalid: %w", err)
 	}
 	return tr, nil
-}
-
-func opFromRecord(r *trace.Record) (replay.Op, bool) {
-	switch r.Name {
-	case "MPI_File_open":
-		return replay.Op{Kind: replay.OpOpen, Path: r.Path}, true
-	case "MPI_File_write_at", "MPI_File_write":
-		return replay.Op{Kind: replay.OpWrite, Path: r.Path, Offset: r.Offset, Bytes: r.Bytes}, true
-	case "MPI_File_read_at", "MPI_File_read":
-		return replay.Op{Kind: replay.OpRead, Path: r.Path, Offset: r.Offset, Bytes: r.Bytes}, true
-	case "MPI_File_close":
-		return replay.Op{Kind: replay.OpClose, Path: r.Path}, true
-	case "MPI_File_sync":
-		return replay.Op{}, false // folded into think time
-	}
-	return replay.Op{}, false
 }

@@ -8,6 +8,7 @@ import (
 	"iotaxo/internal/mpi"
 	"iotaxo/internal/replay"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 	"iotaxo/internal/workload"
 )
 
@@ -209,5 +210,53 @@ func TestClassificationMatchesPaper(t *testing.T) {
 	}
 	if fw.Name() != "//TRACE" {
 		t.Fatalf("name = %q", fw.Name())
+	}
+}
+
+func TestRawTraceStreamsBaselineRun(t *testing.T) {
+	// Stream the baseline run's records straight into the binary codec as
+	// they are observed — the emitter side of the pipeline.
+	var buf bytes.Buffer
+	bw := trace.NewParallelBinaryWriter(&buf, trace.BinaryOptions{Compress: true, RecordsPerBlock: 32}, 2)
+	cfg := DefaultConfig()
+	cfg.SampledRanks = 0
+	cfg.RawTrace = bw
+	res, err := New(cfg).Generate(factory, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.NewParallelBinaryReader(&buf, 2).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records streamed")
+	}
+	// The stream carries at least every replayable op of the result.
+	if len(recs) < res.Trace.OpCount() {
+		t.Fatalf("streamed %d records for %d replayable ops", len(recs), res.Trace.OpCount())
+	}
+	// Only the baseline run emits: re-generating with sampling must not
+	// multiply the stream.
+	var buf2 bytes.Buffer
+	bw2 := trace.NewParallelBinaryWriter(&buf2, trace.BinaryOptions{Compress: true, RecordsPerBlock: 32}, 2)
+	cfg2 := DefaultConfig()
+	cfg2.SampledRanks = -1 // probe every rank
+	cfg2.RawTrace = bw2
+	if _, err := New(cfg2).Generate(factory, program); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs2, err := trace.NewParallelBinaryReader(&buf2, 2).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("throttled runs leaked into the raw stream: %d vs %d records", len(recs2), len(recs))
 	}
 }

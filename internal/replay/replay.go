@@ -20,6 +20,7 @@ import (
 
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 	"iotaxo/internal/vfs"
 )
 
@@ -71,6 +72,91 @@ type Op struct {
 	Path    string
 	Offset  int64
 	Bytes   int64
+}
+
+// OpFromRecord maps an MPI-IO trace record to a replayable op. Records that
+// do not correspond to a replayable operation (barriers, syncs, non-MPI
+// calls) report ok=false.
+func OpFromRecord(r *trace.Record) (Op, bool) {
+	switch r.Name {
+	case "MPI_File_open":
+		return Op{Kind: OpOpen, Path: r.Path}, true
+	case "MPI_File_write_at", "MPI_File_write":
+		return Op{Kind: OpWrite, Path: r.Path, Offset: r.Offset, Bytes: r.Bytes}, true
+	case "MPI_File_read_at", "MPI_File_read":
+		return Op{Kind: OpRead, Path: r.Path, Offset: r.Offset, Bytes: r.Bytes}, true
+	case "MPI_File_close":
+		return Op{Kind: OpClose, Path: r.Path}, true
+	}
+	return Op{}, false
+}
+
+// FromRecords builds a replayable trace from a stream of trace records:
+// the Source-consuming constructor of the pseudo-application pipeline.
+// Records must be time-ordered within each rank (interleaving across ranks
+// is fine); think time before each I/O op is the start-time gap from the
+// previous I/O op on the same rank, minus time spent inside non-replayable
+// MPI calls (synchronization becomes dependency edges, not replayed MPI).
+func FromRecords(src trace.Source, originalElapsed sim.Duration) (*Trace, error) {
+	type rankState struct {
+		ops       []Op
+		lastIOEnd sim.Time
+		nonIO     sim.Duration
+		started   bool
+	}
+	states := make(map[int]*rankState)
+	maxRank := -1
+	_, err := trace.Copy(trace.SinkFunc(func(r *trace.Record) error {
+		if r.Rank < 0 {
+			return fmt.Errorf("replay: record %s has no rank", r.Name)
+		}
+		st := states[r.Rank]
+		if st == nil {
+			st = &rankState{}
+			states[r.Rank] = st
+		}
+		if r.Rank > maxRank {
+			maxRank = r.Rank
+		}
+		if !st.started {
+			st.started = true
+			st.lastIOEnd = r.Time
+		}
+		op, ok := OpFromRecord(r)
+		if !ok {
+			if r.Class == trace.ClassMPI {
+				st.nonIO += r.Dur
+			}
+			return nil
+		}
+		think := r.Time - st.lastIOEnd - sim.Time(st.nonIO)
+		if think < 0 {
+			think = 0
+		}
+		op.Compute = sim.Duration(think)
+		st.ops = append(st.ops, op)
+		st.lastIOEnd = r.Time + sim.Time(r.Dur)
+		st.nonIO = 0
+		return nil
+	}), src)
+	if err != nil {
+		return nil, err
+	}
+	if maxRank < 0 {
+		return nil, fmt.Errorf("replay: no ranked records in stream")
+	}
+	tr := &Trace{
+		Ranks:           maxRank + 1,
+		Ops:             make([][]Op, maxRank+1),
+		OriginalElapsed: originalElapsed,
+	}
+	for rank, st := range states {
+		tr.Ops[rank] = st.ops
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
 }
 
 // Dep is a cross-rank ordering edge: (FromRank, FromOp) must complete

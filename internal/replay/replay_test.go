@@ -8,6 +8,7 @@ import (
 
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 func testCluster() *cluster.Cluster {
@@ -216,5 +217,66 @@ func TestWriteWithoutOpenAutoOpens(t *testing.T) {
 	size, _, _, ok := c.PFS.Snapshot("/pfs/auto")
 	if !ok || size != 4096 {
 		t.Fatalf("auto-open write failed: %d %v", size, ok)
+	}
+}
+
+func TestFromRecordsBuildsReplayableTrace(t *testing.T) {
+	recs := []trace.Record{
+		{Time: 0, Dur: sim.Millisecond, Rank: 0, Class: trace.ClassMPI,
+			Name: "MPI_File_open", Path: "/pfs/f"},
+		{Time: 5 * sim.Millisecond, Dur: 2 * sim.Millisecond, Rank: 0, Class: trace.ClassMPI,
+			Name: "MPI_Barrier"}, // synchronization: excluded from think time
+		{Time: 10 * sim.Millisecond, Dur: 3 * sim.Millisecond, Rank: 0, Class: trace.ClassMPI,
+			Name: "MPI_File_write_at", Path: "/pfs/f", Offset: 4096, Bytes: 8192},
+		{Time: 20 * sim.Millisecond, Dur: sim.Millisecond, Rank: 0, Class: trace.ClassMPI,
+			Name: "MPI_File_close", Path: "/pfs/f"},
+		{Time: 0, Dur: sim.Millisecond, Rank: 1, Class: trace.ClassMPI,
+			Name: "MPI_File_open", Path: "/pfs/f"},
+		{Time: 2 * sim.Millisecond, Dur: sim.Millisecond, Rank: 1, Class: trace.ClassMPI,
+			Name: "MPI_File_read_at", Path: "/pfs/f", Offset: 0, Bytes: 4096},
+	}
+	tr, err := FromRecords(trace.SliceSource(recs), 30*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ranks != 2 || len(tr.Ops[0]) != 3 || len(tr.Ops[1]) != 2 {
+		t.Fatalf("shape: ranks=%d ops=%v", tr.Ranks, tr.Ops)
+	}
+	// Think time before the write: 10ms start - 1ms open end - 2ms barrier.
+	if tr.Ops[0][1].Kind != OpWrite || tr.Ops[0][1].Compute != 7*sim.Millisecond {
+		t.Fatalf("write op: %+v", tr.Ops[0][1])
+	}
+	if tr.OriginalElapsed != 30*sim.Millisecond {
+		t.Fatalf("elapsed: %v", tr.OriginalElapsed)
+	}
+	// The built trace must execute.
+	if _, err := Execute(testCluster(), tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRecordsRejectsUnranked(t *testing.T) {
+	recs := []trace.Record{{Rank: -1, Class: trace.ClassMPI, Name: "MPI_File_open"}}
+	if _, err := FromRecords(trace.SliceSource(recs), 0); err == nil {
+		t.Fatal("expected error for rankless record")
+	}
+}
+
+func TestOpFromRecordKinds(t *testing.T) {
+	cases := map[string]OpKind{
+		"MPI_File_open": OpOpen, "MPI_File_write_at": OpWrite,
+		"MPI_File_write": OpWrite, "MPI_File_read_at": OpRead,
+		"MPI_File_read": OpRead, "MPI_File_close": OpClose,
+	}
+	for name, want := range cases {
+		op, ok := OpFromRecord(&trace.Record{Name: name})
+		if !ok || op.Kind != want {
+			t.Fatalf("%s -> %v ok=%v, want %v", name, op.Kind, ok, want)
+		}
+	}
+	for _, name := range []string{"MPI_File_sync", "MPI_Barrier", "SYS_write"} {
+		if _, ok := OpFromRecord(&trace.Record{Name: name}); ok {
+			t.Fatalf("%s should not be replayable", name)
+		}
 	}
 }

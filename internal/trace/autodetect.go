@@ -42,18 +42,28 @@ func DetectFormat(r io.Reader) (Format, io.Reader) {
 	return FormatUnknown, br
 }
 
-// ReadAuto decodes a trace stream of either format, returning the records
-// and the detected format.
-func ReadAuto(r io.Reader) ([]Record, Format, error) {
+// OpenAuto sniffs a trace stream's format and returns a streaming Source
+// over it: the bounded-memory entry point for trace consumption. An empty
+// stream yields FormatUnknown and an empty source.
+func OpenAuto(r io.Reader) (Source, Format, error) {
 	format, rr := DetectFormat(r)
 	switch format {
 	case FormatBinary:
-		recs, err := NewBinaryReader(rr).ReadAll()
-		return recs, format, err
+		return NewBinaryReader(rr), format, nil
 	case FormatText:
-		recs, err := NewTextReader(rr).ReadAll()
-		return recs, format, err
+		return NewTextReader(rr), format, nil
 	default:
-		return nil, format, io.EOF
+		return EmptySource(), format, nil
 	}
+}
+
+// ReadAuto decodes a trace stream of either format, returning the records
+// and the detected format: the slice wrapper over OpenAuto.
+func ReadAuto(r io.Reader) ([]Record, Format, error) {
+	src, format, err := OpenAuto(r)
+	if err != nil {
+		return nil, format, err
+	}
+	recs, err := Collect(src)
+	return recs, format, err
 }

@@ -50,6 +50,7 @@ type BinaryWriter struct {
 	inBlock int
 	started bool
 	n       int64
+	blocks  int64
 	err     error
 }
 
@@ -103,34 +104,15 @@ func (b *BinaryWriter) Flush() error {
 	if b.buf.Len() == 0 {
 		return nil
 	}
-	payload := b.buf.Bytes()
-	if b.opts.Compress {
-		var cb bytes.Buffer
-		fw, err := flate.NewWriter(&cb, flate.BestSpeed)
-		if err != nil {
-			b.err = err
-			return err
-		}
-		if _, err := fw.Write(payload); err != nil {
-			b.err = err
-			return err
-		}
-		if err := fw.Close(); err != nil {
-			b.err = err
-			return err
-		}
-		payload = cb.Bytes()
-	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := b.w.Write(hdr[:]); err != nil {
+	framed, err := frameBlock(b.buf.Bytes(), b.opts.Compress)
+	if err != nil {
 		b.err = err
 		return err
 	}
-	n, err := b.w.Write(payload)
-	b.n += int64(n) + 8
+	n, err := b.w.Write(framed)
+	b.n += int64(n)
 	b.err = err
+	b.blocks++
 	b.buf.Reset()
 	b.inBlock = 0
 	return b.err
@@ -141,6 +123,33 @@ func (b *BinaryWriter) Close() error { return b.Flush() }
 
 // BytesWritten reports the encoded size so far (flushed blocks only).
 func (b *BinaryWriter) BytesWritten() int64 { return b.n }
+
+// BlocksWritten reports the number of blocks emitted so far.
+func (b *BinaryWriter) BlocksWritten() int64 { return b.blocks }
+
+// frameBlock compresses (optionally) and frames one block payload with its
+// length and CRC-32: the unit of work the parallel codec distributes.
+func frameBlock(payload []byte, compress bool) ([]byte, error) {
+	if compress {
+		var cb bytes.Buffer
+		fw, err := flate.NewWriter(&cb, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fw.Write(payload); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		payload = cb.Bytes()
+	}
+	framed := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(framed[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(framed[4:], crc32.ChecksumIEEE(payload))
+	copy(framed[8:], payload)
+	return framed, nil
+}
 
 func putUvarint(buf *bytes.Buffer, v uint64) {
 	var tmp [binary.MaxVarintLen64]byte
@@ -272,7 +281,11 @@ type BinaryReader struct {
 	flags   byte
 	started bool
 	block   *bytes.Reader
+	blocks  int64
 }
+
+// BlocksRead reports the number of blocks decoded so far.
+func (b *BinaryReader) BlocksRead() int64 { return b.blocks }
 
 // NewBinaryReader wraps r for decoding.
 func NewBinaryReader(r io.Reader) *BinaryReader { return &BinaryReader{r: r} }
@@ -325,6 +338,7 @@ func (b *BinaryReader) nextBlock() error {
 		payload = out
 	}
 	b.block = bytes.NewReader(payload)
+	b.blocks++
 	return nil
 }
 

@@ -1,0 +1,460 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Parallel block codec. The binary format's block framing is a natural
+// parallelism boundary: blocks are self-contained (length, CRC, optionally
+// compressed payload), so compressing and decoding different blocks are
+// independent. ParallelBinaryWriter runs the expensive per-block work
+// (flate, CRC) on a worker pool and commits blocks to the underlying writer
+// in submission order, producing output byte-identical to the serial
+// BinaryWriter. ParallelBinaryReader reads framed blocks ahead of the
+// consumer and decodes them on a worker pool, again delivering records in
+// stream order. Each worker reuses its flate state across blocks, so even
+// with a single worker the codec beats the serial path, which pays a fresh
+// compressor allocation per block.
+//
+// Memory in both directions is bounded by O(workers × block size): the job
+// channels are fixed-capacity, so a slow disk or a slow consumer
+// back-pressures the pool instead of ballooning the heap.
+
+// defaultWorkers resolves a worker-count knob.
+func defaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// --- writer ---
+
+// encodeJob is one block making its way through the worker pool.
+type encodeJob struct {
+	payload []byte // varint-encoded records, not yet compressed
+	framed  []byte // len+crc header and (possibly compressed) payload
+	err     error
+	ready   chan struct{}
+}
+
+// ParallelBinaryWriter is a Sink producing the binary trace format with the
+// per-block compression and checksumming fanned out across a worker pool.
+// Output is byte-identical to BinaryWriter with the same options. Close
+// must be called to flush the final block and join the pool.
+type ParallelBinaryWriter struct {
+	opts    BinaryOptions
+	buf     bytes.Buffer
+	inBlock int
+
+	jobs  chan *encodeJob
+	order chan *encodeJob
+	done  chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	n      int64
+	blocks int64
+
+	closed bool
+}
+
+// NewParallelBinaryWriter returns a writer compressing and framing blocks
+// on `workers` goroutines (<=0 selects GOMAXPROCS). Close must be called.
+func NewParallelBinaryWriter(w io.Writer, opts BinaryOptions, workers int) *ParallelBinaryWriter {
+	if opts.RecordsPerBlock <= 0 {
+		opts.RecordsPerBlock = 512
+	}
+	workers = defaultWorkers(workers)
+	p := &ParallelBinaryWriter{
+		opts:  opts,
+		jobs:  make(chan *encodeJob, workers),
+		order: make(chan *encodeJob, 2*workers),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	go p.committer(w)
+	return p
+}
+
+// worker frames blocks, reusing one flate compressor across all of them.
+func (p *ParallelBinaryWriter) worker() {
+	var fw *flate.Writer
+	var cb bytes.Buffer
+	if p.opts.Compress {
+		fw, _ = flate.NewWriter(io.Discard, flate.BestSpeed)
+	}
+	for job := range p.jobs {
+		job.framed, job.err = frameBlockReusing(job.payload, fw, &cb)
+		job.payload = nil
+		close(job.ready)
+	}
+}
+
+// frameBlockReusing is frameBlock with caller-owned compressor state; the
+// returned frame does not alias cb.
+func frameBlockReusing(payload []byte, fw *flate.Writer, cb *bytes.Buffer) ([]byte, error) {
+	if fw != nil {
+		cb.Reset()
+		fw.Reset(cb)
+		if _, err := fw.Write(payload); err != nil {
+			return nil, err
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		payload = cb.Bytes()
+	}
+	framed := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(framed[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(framed[4:], crc32.ChecksumIEEE(payload))
+	copy(framed[8:], payload)
+	return framed, nil
+}
+
+// committer writes the stream header and then blocks in submission order.
+func (p *ParallelBinaryWriter) committer(w io.Writer) {
+	defer close(p.done)
+	var flags byte
+	if p.opts.Compress {
+		flags |= FlagCompressed
+	}
+	if p.opts.Anonymized {
+		flags |= FlagAnonymized
+	}
+	hdr := append(binaryMagic[:], flags)
+	n, err := w.Write(hdr)
+	p.mu.Lock()
+	p.n += int64(n)
+	if err != nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	for job := range p.order {
+		<-job.ready
+		p.mu.Lock()
+		failed := p.err != nil
+		if !failed && job.err != nil {
+			p.err = job.err
+			failed = true
+		}
+		p.mu.Unlock()
+		if failed {
+			continue // drain remaining jobs so Close does not deadlock
+		}
+		n, err := w.Write(job.framed)
+		p.mu.Lock()
+		p.n += int64(n)
+		p.blocks++
+		if err != nil {
+			p.err = err
+		}
+		p.mu.Unlock()
+	}
+}
+
+// sticky reports the first error seen anywhere in the pipeline.
+func (p *ParallelBinaryWriter) sticky() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Write encodes one record into the pending block, submitting the block to
+// the pool when the threshold is reached. Varint encoding is cheap and
+// stays on the caller's goroutine; compression and CRC do not.
+func (p *ParallelBinaryWriter) Write(r *Record) error {
+	if err := p.sticky(); err != nil {
+		return err
+	}
+	encodeRecord(&p.buf, r)
+	p.inBlock++
+	if p.inBlock >= p.opts.RecordsPerBlock {
+		p.submit()
+	}
+	return p.sticky()
+}
+
+// submit hands the pending block's payload to the pool.
+func (p *ParallelBinaryWriter) submit() {
+	if p.buf.Len() == 0 {
+		return
+	}
+	payload := make([]byte, p.buf.Len())
+	copy(payload, p.buf.Bytes())
+	p.buf.Reset()
+	p.inBlock = 0
+	job := &encodeJob{payload: payload, ready: make(chan struct{})}
+	p.order <- job
+	p.jobs <- job
+}
+
+// Flush submits any partial block to the pool without waiting for it to
+// commit. Unlike the serial writer it does not guarantee the bytes have
+// reached the underlying writer when it returns; Close does.
+func (p *ParallelBinaryWriter) Flush() error {
+	p.submit()
+	return p.sticky()
+}
+
+// Close flushes the final block, joins the pool, and returns the first
+// error encountered anywhere in the pipeline.
+func (p *ParallelBinaryWriter) Close() error {
+	if p.closed {
+		return p.sticky()
+	}
+	p.closed = true
+	p.submit()
+	close(p.jobs)
+	close(p.order)
+	<-p.done
+	return p.sticky()
+}
+
+// BytesWritten reports bytes committed to the underlying writer so far.
+func (p *ParallelBinaryWriter) BytesWritten() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// BlocksWritten reports blocks committed so far (all blocks after Close).
+func (p *ParallelBinaryWriter) BlocksWritten() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocks
+}
+
+// --- reader ---
+
+// decodeJob is one framed block being decoded by the pool.
+type decodeJob struct {
+	payload []byte // expected CRC in the first 4 bytes, then the payload
+	recs    []Record
+	err     error // terminal error delivered in stream position
+	ready   chan struct{}
+}
+
+// ParallelBinaryReader decodes the binary format with block decode
+// (CRC check, decompression, varint decoding) fanned out across a worker
+// pool, prefetching ahead of the consumer. Records, and any mid-stream
+// corruption error, are delivered in exactly the order the serial
+// BinaryReader would produce them. Close releases the pool early; draining
+// to io.EOF or an error also releases it.
+type ParallelBinaryReader struct {
+	flags byte
+
+	order  chan *decodeJob
+	jobs   chan *decodeJob
+	cancel chan struct{}
+
+	cur    []Record
+	curIdx int
+	err    error // sticky terminal error (io.EOF included)
+
+	stopOnce *sync.Once
+}
+
+// NewParallelBinaryReader wraps r for decoding with `workers` goroutines
+// (<=0 selects GOMAXPROCS). A reader abandoned mid-stream (e.g. a pipeline
+// that aborted on a sink error) releases its pool when garbage-collected;
+// call Close to release it promptly.
+func NewParallelBinaryReader(r io.Reader, workers int) *ParallelBinaryReader {
+	workers = defaultWorkers(workers)
+	// stopOnce and cancel are allocated apart from the reader so the GC
+	// cleanup below can reference them without keeping the reader alive.
+	cancel := make(chan struct{})
+	stopOnce := new(sync.Once)
+	p := &ParallelBinaryReader{
+		order:    make(chan *decodeJob, 2*workers),
+		jobs:     make(chan *decodeJob, workers),
+		cancel:   cancel,
+		stopOnce: stopOnce,
+	}
+	runtime.AddCleanup(p, func(struct{}) {
+		stopOnce.Do(func() { close(cancel) })
+	}, struct{}{})
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		p.err = fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	} else if !bytes.Equal(hdr[:8], binaryMagic[:]) {
+		p.err = fmt.Errorf("%w: bad magic", ErrCorrupt)
+	} else {
+		p.flags = hdr[8]
+	}
+	if p.err != nil {
+		close(p.jobs)
+		close(p.order)
+		return p
+	}
+	compressed := p.flags&FlagCompressed != 0
+	for i := 0; i < workers; i++ {
+		go p.worker(compressed)
+	}
+	go p.fetch(r)
+	return p
+}
+
+// fetch reads framed blocks sequentially and fans payloads out to the pool,
+// preserving submission order for the consumer.
+func (p *ParallelBinaryReader) fetch(r io.Reader) {
+	defer close(p.jobs)
+	defer close(p.order)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err != io.EOF {
+				p.deliverErr(fmt.Errorf("%w: short block header", ErrCorrupt))
+			}
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:])
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if plen > 1<<30 {
+			p.deliverErr(fmt.Errorf("%w: unreasonable block size %d", ErrCorrupt, plen))
+			return
+		}
+		payload := make([]byte, 4+plen)
+		binary.LittleEndian.PutUint32(payload[0:], want)
+		if _, err := io.ReadFull(r, payload[4:]); err != nil {
+			p.deliverErr(fmt.Errorf("%w: truncated block", ErrCorrupt))
+			return
+		}
+		job := &decodeJob{payload: payload, ready: make(chan struct{})}
+		select {
+		case p.order <- job:
+		case <-p.cancel:
+			return
+		}
+		select {
+		case p.jobs <- job:
+		case <-p.cancel:
+			return
+		}
+	}
+}
+
+// deliverErr enqueues a terminal error in stream position.
+func (p *ParallelBinaryReader) deliverErr(err error) {
+	job := &decodeJob{err: err, ready: make(chan struct{})}
+	close(job.ready)
+	select {
+	case p.order <- job:
+	case <-p.cancel:
+	}
+}
+
+// worker decodes blocks, reusing one flate decompressor and one scratch
+// buffer across all of them.
+func (p *ParallelBinaryReader) worker(compressed bool) {
+	var fr io.ReadCloser
+	var db bytes.Buffer
+	if compressed {
+		fr = flate.NewReader(bytes.NewReader(nil))
+	}
+	for job := range p.jobs {
+		job.recs, job.err = decodeBlock(job.payload, fr, &db)
+		job.payload = nil
+		close(job.ready)
+	}
+}
+
+// decodeBlock verifies and decodes one block payload prefixed with its
+// expected CRC. fr is a reusable flate reader (nil for uncompressed
+// streams); db is reusable decompression scratch. The returned records do
+// not alias either.
+func decodeBlock(crcAndPayload []byte, fr io.ReadCloser, db *bytes.Buffer) ([]Record, error) {
+	want := binary.LittleEndian.Uint32(crcAndPayload[0:])
+	payload := crcAndPayload[4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("%w: block CRC mismatch", ErrCorrupt)
+	}
+	if fr != nil {
+		if err := fr.(flate.Resetter).Reset(bytes.NewReader(payload), nil); err != nil {
+			return nil, fmt.Errorf("%w: decompress: %v", ErrCorrupt, err)
+		}
+		db.Reset()
+		if _, err := db.ReadFrom(fr); err != nil {
+			return nil, fmt.Errorf("%w: decompress: %v", ErrCorrupt, err)
+		}
+		payload = db.Bytes()
+	}
+	br := bytes.NewReader(payload)
+	var recs []Record
+	for br.Len() > 0 {
+		rec, err := decodeRecord(br)
+		if err != nil {
+			return recs, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// Flags returns the stream flags (valid immediately after construction).
+func (p *ParallelBinaryReader) Flags() byte { return p.flags }
+
+// Next returns the next record, io.EOF at end of stream, or the corruption
+// error of the first bad block — after every record of the blocks before it.
+func (p *ParallelBinaryReader) Next() (Record, error) {
+	for {
+		if p.curIdx < len(p.cur) {
+			rec := p.cur[p.curIdx]
+			p.curIdx++
+			return rec, nil
+		}
+		if p.err != nil {
+			return Record{}, p.err
+		}
+		job, ok := <-p.order
+		if !ok {
+			p.err = io.EOF
+			p.release()
+			return Record{}, io.EOF
+		}
+		<-job.ready
+		p.cur, p.curIdx = job.recs, 0
+		if job.err != nil {
+			// Yield the block's decoded prefix first, then the error.
+			p.err = job.err
+			p.release()
+			continue
+		}
+	}
+}
+
+// release stops the fetcher and lets the pool drain.
+func (p *ParallelBinaryReader) release() {
+	p.stopOnce.Do(func() { close(p.cancel) })
+}
+
+// Close stops prefetching and releases the worker pool. Records already
+// buffered remain readable; it is safe to call at any time.
+func (p *ParallelBinaryReader) Close() error {
+	p.release()
+	return nil
+}
+
+// ReadAll drains the stream, returning records decoded before any error.
+func (p *ParallelBinaryReader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		r, err := p.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// The parallel writer must be a drop-in encoder: byte-identical output to
+// the serial writer for every option combination.
+func TestParallelWriterByteIdenticalToSerial(t *testing.T) {
+	recs := randomRecords(1000, 17)
+	for _, tc := range []struct {
+		name string
+		opts BinaryOptions
+	}{
+		{"plain", BinaryOptions{RecordsPerBlock: 64}},
+		{"compressed", BinaryOptions{Compress: true, RecordsPerBlock: 64}},
+		{"anonymized-flag", BinaryOptions{Anonymized: true, RecordsPerBlock: 100}},
+		{"partial-final-block", BinaryOptions{RecordsPerBlock: 333}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var serial bytes.Buffer
+			if err := WriteAll(NewBinaryWriter(&serial, tc.opts), recs); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				var parallel bytes.Buffer
+				if err := WriteAll(NewParallelBinaryWriter(&parallel, tc.opts, workers), recs); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+					t.Fatalf("workers=%d: parallel output differs from serial (%d vs %d bytes)",
+						workers, parallel.Len(), serial.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestParallelWriterEmptyStream(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	NewBinaryWriter(&serial, BinaryOptions{}).Close()
+	NewParallelBinaryWriter(&parallel, BinaryOptions{}, 2).Close()
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("empty stream headers differ: %x vs %x", serial.Bytes(), parallel.Bytes())
+	}
+}
+
+func TestParallelWriterBlockCount(t *testing.T) {
+	recs := randomRecords(100, 23)
+	var buf bytes.Buffer
+	w := NewParallelBinaryWriter(&buf, BinaryOptions{RecordsPerBlock: 32}, 3)
+	if err := WriteAll(w, recs); err != nil {
+		t.Fatal(err)
+	}
+	if w.BlocksWritten() != 4 { // 32+32+32+4
+		t.Fatalf("blocks = %d, want 4", w.BlocksWritten())
+	}
+	if w.BytesWritten() != int64(buf.Len()) {
+		t.Fatalf("bytes = %d, buffer = %d", w.BytesWritten(), buf.Len())
+	}
+}
+
+func TestParallelReaderRoundTrip(t *testing.T) {
+	recs := randomRecords(2000, 29)
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteAll(NewBinaryWriter(&buf, BinaryOptions{Compress: compress, RecordsPerBlock: 128}), recs); err != nil {
+			t.Fatal(err)
+		}
+		r := NewParallelBinaryReader(&buf, 4)
+		if compress && r.Flags()&FlagCompressed == 0 {
+			t.Fatal("compressed flag not exposed")
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("compress=%v: %d records, want %d", compress, len(got), len(recs))
+		}
+		for i := range recs {
+			a, b := recs[i], got[i]
+			if len(a.Args) == 0 {
+				a.Args = nil
+			}
+			if len(b.Args) == 0 {
+				b.Args = nil
+			}
+			if a.Name != b.Name || a.Time != b.Time || a.Offset != b.Offset {
+				t.Fatalf("record %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestParallelWriterToParallelReader(t *testing.T) {
+	recs := randomRecords(1500, 31)
+	var buf bytes.Buffer
+	if err := WriteAll(NewParallelBinaryWriter(&buf, BinaryOptions{Compress: true, RecordsPerBlock: 100}, 0), recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewParallelBinaryReader(&buf, 0).ReadAll()
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("got %d records, err=%v", len(got), err)
+	}
+}
+
+// mkCorruptStream builds a stream of `blocks` blocks of `perBlock` records
+// each, then returns it along with the offset of the n-th block's payload.
+func mkBlocks(t *testing.T, blocks, perBlock int, compress bool) []byte {
+	t.Helper()
+	recs := randomRecords(blocks*perBlock, 37)
+	var buf bytes.Buffer
+	if err := WriteAll(NewBinaryWriter(&buf, BinaryOptions{Compress: compress, RecordsPerBlock: perBlock}), recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// blockOffsets walks the frame headers and returns each block's start.
+func blockOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	pos := 9 // magic + flags
+	for pos < len(data) {
+		offs = append(offs, pos)
+		plen := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 8 + plen
+	}
+	return offs
+}
+
+// Satellite requirement: mid-stream CRC corruption must yield every record
+// of the blocks before the bad one, then ErrCorrupt — on both readers.
+func TestReadersMidStreamCRCCorruption(t *testing.T) {
+	const perBlock = 16
+	data := mkBlocks(t, 4, perBlock, false)
+	offs := blockOffsets(t, data)
+	if len(offs) != 4 {
+		t.Fatalf("expected 4 blocks, found %d", len(offs))
+	}
+	// Flip a byte inside block 2's payload.
+	bad := append([]byte(nil), data...)
+	bad[offs[2]+8] ^= 0xFF
+
+	for _, tc := range []struct {
+		name string
+		read func(io.Reader) ([]Record, error)
+	}{
+		{"serial", func(r io.Reader) ([]Record, error) { return NewBinaryReader(r).ReadAll() }},
+		{"parallel", func(r io.Reader) ([]Record, error) { return NewParallelBinaryReader(r, 4).ReadAll() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, err := tc.read(bytes.NewReader(bad))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if len(recs) != 2*perBlock {
+				t.Fatalf("got %d records before the corrupt block, want %d", len(recs), 2*perBlock)
+			}
+		})
+	}
+}
+
+// ... and truncation mid-block behaves the same way.
+func TestReadersMidStreamTruncation(t *testing.T) {
+	const perBlock = 16
+	data := mkBlocks(t, 4, perBlock, true)
+	offs := blockOffsets(t, data)
+	// Cut the stream in the middle of block 3's payload.
+	cut := data[:offs[3]+10]
+
+	for _, tc := range []struct {
+		name string
+		read func(io.Reader) ([]Record, error)
+	}{
+		{"serial", func(r io.Reader) ([]Record, error) { return NewBinaryReader(r).ReadAll() }},
+		{"parallel", func(r io.Reader) ([]Record, error) { return NewParallelBinaryReader(r, 4).ReadAll() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, err := tc.read(bytes.NewReader(cut))
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if len(recs) != 3*perBlock {
+				t.Fatalf("got %d records before truncation, want %d", len(recs), 3*perBlock)
+			}
+		})
+	}
+}
+
+func TestParallelReaderBadMagic(t *testing.T) {
+	_, err := NewParallelBinaryReader(bytes.NewReader([]byte("NOTATRACEFILE")), 2).Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParallelReaderEarlyClose(t *testing.T) {
+	data := mkBlocks(t, 64, 32, false)
+	r := NewParallelBinaryReader(bytes.NewReader(data), 4)
+	for i := 0; i < 10; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Records already decoded remain readable; the stream ends cleanly.
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 type TextWriter struct {
 	w             *bufio.Writer
 	headerWritten bool
+	lazyHeader    bool
 	node          string
 	rank, pid     int
 	n             int64 // bytes written, for overhead accounting
@@ -28,6 +29,13 @@ type TextWriter struct {
 // NewTextWriter returns a writer for one process's trace stream.
 func NewTextWriter(w io.Writer, node string, rank, pid int) *TextWriter {
 	return &TextWriter{w: bufio.NewWriter(w), node: node, rank: rank, pid: pid}
+}
+
+// NewTextSink returns a text writer whose header context (node/rank/pid) is
+// taken from the first record written: the Sink adapter for pipelines whose
+// provenance is only known once records start flowing.
+func NewTextSink(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w), rank: -1, lazyHeader: true}
 }
 
 func (t *TextWriter) header() error {
@@ -43,6 +51,9 @@ func (t *TextWriter) header() error {
 
 // Write emits one record.
 func (t *TextWriter) Write(r *Record) error {
+	if t.lazyHeader && !t.headerWritten {
+		t.node, t.rank, t.pid = r.Node, r.Rank, r.PID
+	}
 	if err := t.header(); err != nil {
 		return err
 	}
@@ -58,6 +69,9 @@ func (t *TextWriter) BytesWritten() int64 { return t.n }
 
 // Flush drains the internal buffer.
 func (t *TextWriter) Flush() error { return t.w.Flush() }
+
+// Close implements Sink by flushing the buffer.
+func (t *TextWriter) Close() error { return t.Flush() }
 
 // TextReader parses the text format back into records, inferring the
 // structured I/O fields from well-known call signatures the way replay tools

@@ -211,10 +211,17 @@ func (f *FS) OutputBytes() int64 {
 	return int64(f.out.Len())
 }
 
-// TraceRecords decodes the binary output back into records (analysis side).
-func (f *FS) TraceRecords() ([]trace.Record, error) {
+// OpenTrace streams the binary output back as records, decoding one block
+// at a time (analysis side). Each call opens an independent cursor.
+func (f *FS) OpenTrace() trace.Source {
 	f.DrainForAnalysis()
-	return trace.NewBinaryReader(bytes.NewReader(f.out.Bytes())).ReadAll()
+	return trace.NewBinaryReader(bytes.NewReader(f.out.Bytes()))
+}
+
+// TraceRecords decodes the binary output back into records: the slice
+// wrapper over OpenTrace.
+func (f *FS) TraceRecords() ([]trace.Record, error) {
+	return trace.Collect(f.OpenTrace())
 }
 
 // TraceBinary returns a copy of the raw binary trace stream.
