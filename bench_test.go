@@ -181,6 +181,29 @@ func BenchmarkParallelTraceFidelity(b *testing.B) {
 	b.ReportMetric(fid*100, "fidelity_err_%")
 }
 
+// --- MATRIX: framework x workload overhead matrix ---
+
+// BenchmarkMatrixSweep measures every registered framework on every
+// workload pattern through the one generic sweep path, at QuickOptions
+// scale: the engine behind `tracebench -exp matrix` and the measured
+// Table 2.
+func BenchmarkMatrixSweep(b *testing.B) {
+	o := harness.QuickOptions()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		m, err := harness.MatrixSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(m.Cells)
+		if cells == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+	b.ReportMetric(float64(cells), "cells")
+	b.ReportMetric(float64(cells/len(harness.MatrixPatterns())), "frameworks")
+}
+
 // --- Ablations ---
 
 // BenchmarkAblationZeroCostHooks shows the overhead curves collapse when

@@ -1,13 +1,17 @@
 // Command iotaxo prints the paper's taxonomy tables: the Table 1 template,
 // the built-in Table 2 classification of LANL-Trace, Tracefs and //TRACE,
-// single-framework cards, and (with -measured) Table 2 with overheads
-// re-measured on the simulated cluster.
+// single-framework cards, and (with -measured) classifications with
+// overheads re-measured on the simulated cluster. Framework names resolve
+// through the registry in internal/framework, so every registered framework
+// — including the future-work ones — works with -table card and -measured.
 //
 // Usage:
 //
+//	iotaxo -list
 //	iotaxo -table template
 //	iotaxo -table summary -format markdown
 //	iotaxo -table card -framework Tracefs
+//	iotaxo -table card -framework PathTrace -measured
 //	iotaxo -table summary -measured
 package main
 
@@ -18,44 +22,55 @@ import (
 	"strings"
 
 	"iotaxo/internal/core"
+	"iotaxo/internal/framework"
 	"iotaxo/internal/harness"
-	"iotaxo/internal/multilayer"
-	"iotaxo/internal/pathtrace"
 )
 
 func main() {
 	table := flag.String("table", "summary", "which table: template | summary | extended | card")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
-	framework := flag.String("framework", "LANL-Trace", "framework name for -table card")
+	fwName := flag.String("framework", "LANL-Trace", "framework name for -table card (see -list)")
 	measured := flag.Bool("measured", false, "re-measure overheads on the simulated cluster (slow)")
+	list := flag.Bool("list", false, "list registered frameworks and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(listOutput())
+		return
+	}
 
 	switch *table {
 	case "template":
 		fmt.Print(core.Table1Template())
 	case "card":
-		c := findClassification(*framework)
-		if c == nil {
-			fmt.Fprintf(os.Stderr, "iotaxo: unknown framework %q (have LANL-Trace, Tracefs, //TRACE)\n", *framework)
+		fw, ok := framework.Lookup(*fwName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown framework %q (have %s)\n",
+				*fwName, strings.Join(framework.Names(), ", "))
 			os.Exit(2)
+		}
+		c := fw.Classification()
+		if *measured {
+			fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
+			m, err := harness.MatrixSweepOf(harness.QuickOptions(), fw)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+				os.Exit(1)
+			}
+			c = m.Classifications()[0]
 		}
 		fmt.Print(core.RenderCard(c))
 	case "extended":
-		// The future-work "global taxonomy": the three surveyed frameworks
-		// plus the two frameworks Section 6 names next — multi-layer trace
-		// analysis [6] and path-based event tracing [8].
-		cs := append(core.AllPaperClassifications(),
-			multilayer.Classification(), pathtrace.Classification())
-		fmt.Print(core.RenderComparison(cs...))
+		fmt.Print(extendedTable())
 	case "summary":
 		if *measured {
-			o := harness.QuickOptions()
 			fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
-			fmt.Print(harness.Table2Measured(
-				harness.ElapsedRange(o),
-				harness.TracefsExperiment(o),
-				harness.ParallelTraceExperiment(o),
-			))
+			m, err := harness.MatrixSweep(harness.QuickOptions())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Print(m.RenderComparison())
 			return
 		}
 		cs := core.AllPaperClassifications()
@@ -76,14 +91,30 @@ func main() {
 	}
 }
 
-func findClassification(name string) *core.Classification {
-	all := append(core.AllPaperClassifications(),
-		multilayer.Classification(), pathtrace.Classification())
-	for _, c := range all {
-		if strings.EqualFold(c.Name, name) ||
-			strings.EqualFold(strings.Fields(c.Name)[0], name) {
-			return c
+// listOutput renders the registry: every framework that can be classified
+// and measured, in deterministic order.
+func listOutput() string {
+	var b strings.Builder
+	b.WriteString("# registered I/O tracing frameworks\n")
+	for _, fw := range framework.All() {
+		c := fw.Classification()
+		events := make([]string, len(c.EventTypes))
+		for i, e := range c.EventTypes {
+			events[i] = string(e)
 		}
+		fmt.Fprintf(&b, "%-28s %s\n", fw.Name(), strings.Join(events, ", "))
 	}
-	return nil
+	return b.String()
+}
+
+// extendedTable renders the future-work "global taxonomy": every registered
+// framework side by side — the three surveyed frameworks plus the two
+// Section 6 names next (multi-layer trace analysis [6] and path-based
+// event tracing [8]), and any framework registered since.
+func extendedTable() string {
+	cs := make([]*core.Classification, 0)
+	for _, fw := range framework.All() {
+		cs = append(cs, fw.Classification())
+	}
+	return core.RenderComparison(cs...)
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListGolden pins the -list rendering: registry-ordered, one framework
+// per line with its event types. A new registered framework is expected to
+// change this output — update the golden text alongside the registration.
+func TestListGolden(t *testing.T) {
+	want := `# registered I/O tracing frameworks
+//TRACE                      I/O system calls
+LANL-Trace                   System calls, Library calls
+Multi-Layer Trace Analysis   Library calls, System calls, File system operations
+PathTrace (X-Trace style)    Network messages, Library calls
+Tracefs                      File system operations
+`
+	if got := listOutput(); got != want {
+		t.Fatalf("-list output drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExtendedTableSmoke checks the -table extended rendering covers every
+// registered framework and every taxonomy axis row.
+func TestExtendedTableSmoke(t *testing.T) {
+	out := extendedTable()
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Fatalf("extended table too short (%d lines):\n%s", len(lines), out)
+	}
+	header := lines[0]
+	for _, name := range []string{"//TRACE", "LANL-Trace", "Multi-Layer Trace Analysis", "PathTrace (X-Trace style)", "Tracefs"} {
+		if !strings.Contains(header, name) {
+			t.Errorf("header missing %q: %s", name, header)
+		}
+	}
+	// Registry order is deterministic: //TRACE before LANL-Trace before Tracefs.
+	if !(strings.Index(header, "//TRACE") < strings.Index(header, "LANL-Trace") &&
+		strings.Index(header, "LANL-Trace") < strings.Index(header, "Tracefs")) {
+		t.Errorf("header columns out of registry order: %s", header)
+	}
+	for _, row := range []string{
+		"Parallel file system compatibility",
+		"Ease of installation and use",
+		"Anonymization",
+		"Events types",
+		"Control of trace granularity",
+		"Replayable trace generation",
+		"Trace replay fidelity",
+		"Reveals dependencies",
+		"Intrusive vs. Passive",
+		"Analysis tools",
+		"Trace data format",
+		"Accounts for time skew and drift",
+		"Elapsed time overhead",
+	} {
+		if !strings.Contains(out, row) {
+			t.Errorf("extended table missing row %q", row)
+		}
+	}
+	// The future-work frameworks carry their footnotes.
+	if !strings.Contains(out, "Notes:") {
+		t.Error("extended table missing notes section")
+	}
+}

@@ -8,8 +8,10 @@
 //	tracebench -exp fig2 -csv   # CSV series for plotting
 //	tracebench -full            # paper-scale data volumes (slow)
 //
-// Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace table1
-// table2 all.
+// Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace matrix
+// table1 table2 all. The matrix and table2 experiments sweep every
+// registered framework (see internal/framework) against every workload
+// pattern; use -quick to keep them CI-friendly.
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, table1, table2, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, matrix, table1, table2, all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables (figures only)")
 	full := flag.Bool("full", false, "paper-scale data volumes (very slow)")
 	quick := flag.Bool("quick", false, "tiny volumes (CI-friendly)")
@@ -47,6 +49,21 @@ func main() {
 		o.Mode = lanltrace.ModeStrace
 	}
 	o.Seed = *seed
+
+	// matrix and table2 render the same MatrixSweep; compute it once when
+	// -exp all asks for both.
+	var matrixCache *harness.MatrixResult
+	matrix := func() harness.MatrixResult {
+		if matrixCache == nil {
+			m, err := harness.MatrixSweep(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracebench: matrix: %v\n", err)
+				os.Exit(1)
+			}
+			matrixCache = &m
+		}
+		return *matrixCache
+	}
 
 	run := func(id string) {
 		switch id {
@@ -75,16 +92,15 @@ func main() {
 			fmt.Print(harness.ParallelTraceExperiment(o).Format())
 		case "collective":
 			fmt.Print(harness.CollectiveAblation(o).Format())
+		case "matrix":
+			fmt.Println("# Framework x workload overhead matrix (every registered framework)")
+			fmt.Print(matrix().Format())
 		case "table1":
 			fmt.Println("# Table 1: summary table template")
 			fmt.Print(core.Table1Template())
 		case "table2":
-			fmt.Println("# Table 2: classification summary (paper values + measured overheads)")
-			fmt.Print(harness.Table2Measured(
-				harness.ElapsedRange(o),
-				harness.TracefsExperiment(o),
-				harness.ParallelTraceExperiment(o),
-			))
+			fmt.Println("# Table 2: classification summary with measured overheads (every registered framework)")
+			fmt.Print(matrix().RenderComparison())
 		default:
 			fmt.Fprintf(os.Stderr, "tracebench: unknown experiment %q\n", id)
 			os.Exit(2)
@@ -92,7 +108,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "table2"} {
+		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "matrix", "table2"} {
 			fmt.Printf("\n%s\n", strings.Repeat("=", 78))
 			run(id)
 		}

@@ -10,6 +10,12 @@
 // kernel/VFS layer, an MPI + MPI-IO library, and a RAID-5 parallel file
 // system with 252 drives and 64 KB stripes.
 //
+// Every framework — the surveyed three plus the future-work multi-layer
+// analyzer and path-based tracer — registers an implementation of the
+// internal/framework interface, and internal/harness measures any
+// registered framework on any workload pattern through one generic sweep
+// engine (Sweep, MatrixSweep).
+//
 // See README.md for a guided tour of the layers, the streaming trace
 // pipeline, and the command-line tools. The root-level benchmarks in
 // bench_test.go regenerate every table and figure of the paper's

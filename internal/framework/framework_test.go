@@ -1,0 +1,87 @@
+package framework
+
+import (
+	"reflect"
+	"testing"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/core"
+)
+
+// stubFW is a minimal registrable framework for registry tests. The test
+// binary's registry holds only what this file registers (package framework
+// imports no tracer packages).
+type stubFW struct{ name string }
+
+func (s stubFW) Name() string                         { return s.name }
+func (s stubFW) Classification() *core.Classification { return &core.Classification{Name: s.name} }
+func (s stubFW) Attach(c *cluster.Cluster) Session    { return nil }
+
+func stub(name string) Framework { return stubFW{name} }
+
+func TestRegisterLookupAllOrder(t *testing.T) {
+	for _, n := range []string{"Zeta-Trace (test)", "Alpha-Trace", "Mid-Trace"} {
+		Register(stub(n))
+	}
+	want := []string{"Alpha-Trace", "Mid-Trace", "Zeta-Trace (test)"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	// All() follows the same deterministic order, run after run.
+	var first []string
+	for i := 0; i < 3; i++ {
+		var got []string
+		for _, fw := range All() {
+			got = append(got, fw.Name())
+		}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if !reflect.DeepEqual(got, first) {
+			t.Fatalf("All() order not deterministic: %v vs %v", got, first)
+		}
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("All() order = %v, want %v", first, want)
+	}
+
+	// Case-insensitive full-name and first-word lookups.
+	if fw, ok := Lookup("alpha-trace"); !ok || fw.Name() != "Alpha-Trace" {
+		t.Fatalf("Lookup(alpha-trace) = %v, %v", fw, ok)
+	}
+	if fw, ok := Lookup("zeta-trace"); !ok || fw.Name() != "Zeta-Trace (test)" {
+		t.Fatalf("first-word Lookup(zeta-trace) = %v, %v", fw, ok)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	if fw, ok := Lookup("no-such-framework"); ok {
+		t.Fatalf("Lookup hit on unregistered name: %v", fw)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup did not panic on a miss")
+		}
+	}()
+	MustLookup("no-such-framework")
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	Register(stub("Dup-Trace"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(stub("Dup-Trace"))
+}
+
+func TestEmptyNameRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register(stub(""))
+}

@@ -6,17 +6,12 @@ import (
 	"sync"
 
 	"iotaxo/internal/anonymize"
-	"iotaxo/internal/clocks"
 	"iotaxo/internal/cluster"
-	"iotaxo/internal/core"
-	"iotaxo/internal/disk"
 	"iotaxo/internal/lanltrace"
 	"iotaxo/internal/mpi"
 	"iotaxo/internal/partrace"
-	"iotaxo/internal/replay"
 	"iotaxo/internal/sim"
 	"iotaxo/internal/tracefs"
-	"iotaxo/internal/vfs"
 	"iotaxo/internal/workload"
 )
 
@@ -86,6 +81,7 @@ type InTextResult struct {
 func InTextOverheads(o Options) InTextResult {
 	patterns := []workload.Pattern{workload.N1Strided, workload.N1NonStrided, workload.NToN}
 	blocks := []int64{64 << 10, 8192 << 10}
+	fw := o.lanlFramework()
 	res := InTextResult{Cells: make([]OverheadCell, len(patterns)*len(blocks))}
 	var wg sync.WaitGroup
 	for pi, pattern := range patterns {
@@ -95,10 +91,13 @@ func InTextOverheads(o Options) InTextResult {
 			go func() {
 				defer wg.Done()
 				un := o.runUntraced(pattern, block)
-				tr, _ := o.runTraced(pattern, block)
+				rep, err := o.runTraced(fw, pattern, block)
+				if err != nil {
+					panic(err)
+				}
 				frac := 0.0
 				if un.BandwidthBps() > 0 {
-					frac = (un.BandwidthBps() - tr.BandwidthBps()) / un.BandwidthBps()
+					frac = (un.BandwidthBps() - rep.Result.BandwidthBps()) / un.BandwidthBps()
 				}
 				res.Cells[idx] = OverheadCell{Pattern: pattern, Block: block, BwOvhFrac: frac}
 			}()
@@ -186,91 +185,23 @@ type TracefsResult struct {
 	Rows []TracefsRow
 }
 
-// tracefsWorkload runs an I/O-intensive single-node job (in the spirit of
-// the postmark-style benchmark Tracefs' developers used) against fs,
-// returning elapsed time.
-func tracefsWorkload(seed int64, files, writesPerFile int, wrap func(lower vfs.Filesystem) (vfs.Filesystem, *tracefs.FS)) (sim.Duration, *tracefs.FS) {
-	env := sim.NewEnv(seed)
-	lower := vfs.NewMemFS(env, "ext3", disk.DefaultDisk())
-	var mounted vfs.Filesystem = lower
-	var tfs *tracefs.FS
-	if wrap != nil {
-		mounted, tfs = wrap(lower)
-	}
-	k := vfs.NewKernel(env, "node1", clocks.New(0, 0), vfs.DefaultKernelConfig())
-	k.Mount("/", mounted)
-	pc := k.Spawn(vfs.Cred{UID: 500, GID: 100})
-	var elapsed sim.Duration
-	env.Go("postmark", func(p *sim.Proc) {
-		start := p.Now()
-		for f := 0; f < files; f++ {
-			path := fmt.Sprintf("/work/f%03d", f)
-			fd, err := pc.Open(p, path, vfs.OCreate|vfs.ORdwr, 0o644)
-			if err != nil {
-				return
-			}
-			for w := 0; w < writesPerFile; w++ {
-				pc.PWrite(p, fd, int64(w)*8192, 8192)
-			}
-			pc.PRead(p, fd, 0, 8192)
-			pc.Close(p, fd)
-		}
-		// Delete half the files (metadata churn).
-		for f := 0; f < files/2; f++ {
-			pc.Unlink(p, fmt.Sprintf("/work/f%03d", f))
-		}
-		elapsed = p.Now() - start
-	})
-	env.Run()
-	return elapsed, tfs
-}
-
-// TracefsExperiment measures elapsed overhead for escalating feature sets
-// (paper bound: <=12.4% for full tracing of an I/O-intensive workload, with
-// "additional overhead for advanced features such as encryption and
-// checksum calculation").
-func TracefsExperiment(o Options) TracefsResult {
-	const files, writes = 48, 24
-	base, _ := tracefsWorkload(o.Seed, files, writes, nil)
-
-	mk := func(name string, cfg tracefs.Config) TracefsRow {
-		elapsed, tfs := tracefsWorkload(o.Seed, files, writes, func(lower vfs.Filesystem) (vfs.Filesystem, *tracefs.FS) {
-			f, err := tracefs.Mount(lower, cfg)
-			if err != nil {
-				panic(err)
-			}
-			return f, f
-		})
-		return TracefsRow{
-			Name:        name,
-			ElapsedOvh:  float64(elapsed-base) / float64(base),
-			OutputBytes: tfs.OutputBytes(),
-			Events:      tfs.Events,
-		}
-	}
-
-	var res TracefsResult
-	res.Rows = append(res.Rows, TracefsRow{Name: "untraced (baseline)"})
-
-	cfg := tracefs.DefaultConfig()
-	res.Rows = append(res.Rows, mk("trace all ops (buffered)", cfg))
-
+// tracefsVariants is the escalating feature ladder of Section 4.2.
+func tracefsVariants() []struct {
+	name string
+	cfg  tracefs.Config
+} {
 	cfgF := tracefs.DefaultConfig()
 	cfgF.Filter = tracefs.MustCompileFilter("op == write && bytes >= 4096")
-	res.Rows = append(res.Rows, mk("granularity: large writes only", cfgF))
 
 	cfgU := tracefs.DefaultConfig()
 	cfgU.Buffer = 1
-	res.Rows = append(res.Rows, mk("unbuffered", cfgU))
 
 	cfgC := tracefs.DefaultConfig()
 	cfgC.Checksum = true
-	res.Rows = append(res.Rows, mk("+checksumming", cfgC))
 
 	cfgZ := tracefs.DefaultConfig()
 	cfgZ.Checksum = true
 	cfgZ.Compress = true
-	res.Rows = append(res.Rows, mk("+compression", cfgZ))
 
 	cfgE := tracefs.DefaultConfig()
 	cfgE.Checksum = true
@@ -279,8 +210,54 @@ func TracefsExperiment(o Options) TracefsResult {
 	cfgE.Key = []byte("0123456789abcdef")
 	spec, _ := anonymize.ParseSpec("path,uid,gid")
 	cfgE.EncryptSpec = spec
-	res.Rows = append(res.Rows, mk("+CBC encryption (full)", cfgE))
 
+	return []struct {
+		name string
+		cfg  tracefs.Config
+	}{
+		{"trace all ops (buffered)", tracefs.DefaultConfig()},
+		{"granularity: large writes only", cfgF},
+		{"unbuffered", cfgU},
+		{"+checksumming", cfgC},
+		{"+compression", cfgZ},
+		{"+CBC encryption (full)", cfgE},
+	}
+}
+
+// TracefsExperiment measures elapsed overhead for escalating feature sets
+// (paper bound: <=12.4% for full tracing of an I/O-intensive workload, with
+// "additional overhead for advanced features such as encryption and
+// checksum calculation"). Each configuration runs through the registry's
+// framework adapter: a Tracefs layer stacked over every compute node's
+// parallel-file-system mount, observing the small-block N-1 strided
+// workload — the I/O-intensive end of the sweep.
+func TracefsExperiment(o Options) TracefsResult {
+	const block = 64 << 10
+	pattern := workload.N1Strided
+	base := o.runUntraced(pattern, block)
+
+	variants := tracefsVariants()
+	res := TracefsResult{Rows: make([]TracefsRow, len(variants)+1)}
+	res.Rows[0] = TracefsRow{Name: "untraced (baseline)"}
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		i, v := i, v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := o.runTraced(tracefs.AsFramework(v.cfg), pattern, block)
+			if err != nil {
+				panic(err)
+			}
+			res.Rows[i+1] = TracefsRow{
+				Name:        v.name,
+				ElapsedOvh:  float64(rep.TracingElapsed-base.Elapsed) / float64(base.Elapsed),
+				OutputBytes: rep.TraceBytes,
+				Events:      rep.TraceEvents,
+			}
+		}()
+	}
+	wg.Wait()
 	return res
 }
 
@@ -324,17 +301,13 @@ type PartraceResult struct {
 
 // ParallelTraceExperiment sweeps the sampling knob, measuring total
 // trace-generation overhead (paper: ~0% to 205%) and replay fidelity
-// (paper: as low as 6%).
+// (paper: as low as 6%). Each sampling level runs through the registry's
+// framework adapter, which folds the throttled discovery runs and the
+// replay pass into the generic Report.
 func ParallelTraceExperiment(o Options) PartraceResult {
-	ranks := o.Ranks
-	if ranks > 8 {
-		ranks = 8 // dependency probing is O(runs); keep the sweep tractable
-	}
-	factory := func() *cluster.Cluster {
-		cfg := cluster.Default()
-		cfg.ComputeNodes = ranks
-		cfg.Seed = o.Seed
-		return cluster.New(cfg)
+	po := o
+	if po.Ranks > 8 {
+		po.Ranks = 8 // dependency probing is O(runs); keep the sweep tractable
 	}
 	params := workload.Params{
 		Pattern:      workload.N1Strided,
@@ -343,26 +316,26 @@ func ParallelTraceExperiment(o Options) PartraceResult {
 		Path:         "/pfs/app.out",
 		BarrierEvery: 2,
 	}
-	program := func(p *sim.Proc, r *mpi.Rank) { workload.Program(p, r, params, nil) }
+	un := workload.Run(po.newCluster().World, params)
 
 	var res PartraceResult
-	for _, sampled := range []int{0, 1, 2, ranks} {
+	for _, sampled := range []int{0, 1, 2, po.Ranks} {
 		cfg := partrace.DefaultConfig()
 		cfg.SampledRanks = sampled
-		gen, err := partrace.New(cfg).Generate(factory, program)
+		rep, err := partrace.AsFramework(cfg).Attach(po.newCluster()).Run(params)
 		if err != nil {
 			panic(err)
 		}
-		rr, err := replay.Execute(factory(), gen.Trace)
-		if err != nil {
-			panic(err)
+		ovh := 0.0
+		if un.Elapsed > 0 {
+			ovh = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
 		}
 		res.Rows = append(res.Rows, PartraceRow{
 			SampledRanks: sampled,
-			Runs:         gen.Runs,
-			OverheadFrac: gen.OverheadFrac(),
-			DepCount:     gen.DepCount,
-			FidelityErr:  replay.Fidelity(gen.Trace.OriginalElapsed, rr.Elapsed),
+			Runs:         rep.Runs,
+			OverheadFrac: ovh,
+			DepCount:     rep.Deps,
+			FidelityErr:  rep.ReplayErr,
 		})
 	}
 	return res
@@ -403,38 +376,4 @@ func (r PartraceResult) OverheadRange() (min, max float64) {
 		}
 	}
 	return min, max
-}
-
-// --- Table 2 with measured overheads ---
-
-// Table2Measured builds the classification comparison with this
-// repository's measured overheads substituted into the quantitative rows.
-func Table2Measured(elapsed ElapsedRangeResult, tfs TracefsResult, pt PartraceResult) string {
-	lanl := core.PaperLANLTrace()
-	lanl.ElapsedOverhead = core.OverheadReport{
-		Measured:    true,
-		ElapsedMin:  elapsed.Min,
-		ElapsedMax:  elapsed.Max,
-		Description: "measured, this repository",
-	}
-	tfsC := core.PaperTracefs()
-	tfsC.ElapsedOverhead = core.OverheadReport{
-		Measured:    true,
-		ElapsedMin:  0,
-		ElapsedMax:  tfs.MaxOverhead(),
-		Description: "measured, this repository",
-	}
-	ptC := core.PaperParallelTrace()
-	mn, mx := pt.OverheadRange()
-	ptC.ElapsedOverhead = core.OverheadReport{
-		Measured:    true,
-		ElapsedMin:  mn,
-		ElapsedMax:  mx,
-		Description: "measured, this repository",
-	}
-	ptC.ReplayFidelity = core.FidelityReport{
-		Supported: true,
-		ErrorFrac: pt.BestFidelity(),
-	}
-	return core.RenderComparison(lanl, tfsC, ptC)
 }

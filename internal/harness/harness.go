@@ -2,8 +2,13 @@
 // section: the three LANL-Trace overhead figures (Figures 2-4), the in-text
 // bandwidth-overhead table, the elapsed-time overhead range, the Tracefs
 // feature-overhead measurements, the //TRACE fidelity/overhead sweep, the
-// Figure 1 sample outputs, and the Table 2 classification summary with
-// measured overheads folded in.
+// Figure 1 sample outputs, and the measured classification summary.
+//
+// The engine is generic: Sweep measures any registered framework (see
+// internal/framework) against any workload pattern, and MatrixSweep runs
+// every registered framework against every pattern, folding the measured
+// overheads into each framework's taxonomy classification through one code
+// path. The named figure functions are LANL-Trace instances of Sweep.
 //
 // Experiments run at a scaled-down data volume by default (the simulation's
 // cost is O(I/O events), and overhead *fractions* are volume-independent);
@@ -17,10 +22,16 @@ import (
 	"sync"
 
 	"iotaxo/internal/cluster"
+	"iotaxo/internal/framework"
 	"iotaxo/internal/lanltrace"
-	"iotaxo/internal/mpi"
 	"iotaxo/internal/sim"
 	"iotaxo/internal/workload"
+
+	// Importing the harness registers every built-in tracing framework, so
+	// MatrixSweep and the command-line tools see the full registry. Tracefs
+	// and //TRACE register through the direct imports in experiments.go.
+	_ "iotaxo/internal/multilayer"
+	_ "iotaxo/internal/pathtrace"
 )
 
 // Options configures an experiment sweep.
@@ -34,7 +45,7 @@ type Options struct {
 	BlockSizes []int64
 	// Seed feeds the deterministic simulation.
 	Seed int64
-	// Mode selects the LANL-Trace tracer for overhead runs.
+	// Mode selects the LANL-Trace tracer for the figure experiments.
 	Mode lanltrace.Mode
 }
 
@@ -91,24 +102,45 @@ func (o Options) paramsFor(pattern workload.Pattern, block int64) workload.Param
 	}
 }
 
-// BandwidthPoint is one x-position of Figures 2-4.
+// lanlFramework returns the LANL-Trace instance matching o.Mode, the tracer
+// selector of the figure experiments.
+func (o Options) lanlFramework() framework.Framework {
+	if o.Mode == lanltrace.ModeStrace {
+		return lanltrace.AsFramework(lanltrace.StraceConfig())
+	}
+	return lanltrace.AsFramework(lanltrace.DefaultConfig())
+}
+
+// BandwidthPoint is one x-position of a sweep (Figures 2-4 and the matrix
+// cells).
 type BandwidthPoint struct {
 	BlockBytes       int64
 	UntracedMBps     float64
 	TracedMBps       float64
 	UntracedElapsed  sim.Duration
-	TracedElapsed    sim.Duration
-	BandwidthOvhFrac float64 // (untraced - traced) / untraced bandwidth
-	ElapsedOvhFrac   float64 // (traced - untraced) / untraced elapsed
+	TracedElapsed    sim.Duration // total trace-production time (== traced run time for single-run frameworks)
+	BandwidthOvhFrac float64      // (untraced - traced) / untraced bandwidth
+	ElapsedOvhFrac   float64      // (traced - untraced) / untraced elapsed
+
+	// Trace output volume and framework-specific extras of the traced run.
+	TraceEvents int64
+	TraceBytes  int64
+	Runs        int // application executions the framework consumed
+	Deps        int // dependency edges discovered, if the framework reveals them
+	// ReplayMeasured/ReplayErr report replay fidelity for frameworks that
+	// generate replayable traces.
+	ReplayMeasured bool
+	ReplayErr      float64
 }
 
-// FigureResult is a regenerated figure: a bandwidth-vs-blocksize series for
-// traced and untraced runs.
+// FigureResult is one sweep's series: bandwidth vs block size for traced
+// and untraced runs of one framework on one pattern.
 type FigureResult struct {
-	ID      string
-	Title   string
-	Pattern workload.Pattern
-	Points  []BandwidthPoint
+	ID        string
+	Title     string
+	Framework string
+	Pattern   workload.Pattern
+	Points    []BandwidthPoint
 }
 
 // runUntraced executes one untraced benchmark run.
@@ -117,62 +149,86 @@ func (o Options) runUntraced(pattern workload.Pattern, block int64) workload.Res
 	return workload.Run(c.World, o.paramsFor(pattern, block))
 }
 
-// runTraced executes one LANL-Trace'd benchmark run.
-func (o Options) runTraced(pattern workload.Pattern, block int64) (workload.Result, *lanltrace.Report) {
+// runTraced executes one traced benchmark run through the generic framework
+// interface: fresh cluster, attach, run.
+func (o Options) runTraced(fw framework.Framework, pattern workload.Pattern, block int64) (framework.Report, error) {
 	c := o.newCluster()
-	var cfg lanltrace.Config
-	if o.Mode == lanltrace.ModeStrace {
-		cfg = lanltrace.StraceConfig()
-	} else {
-		cfg = lanltrace.DefaultConfig()
-	}
-	fw := lanltrace.New(cfg)
-	params := o.paramsFor(pattern, block)
-	perRank := make([]workload.RankStats, c.Ranks())
-	rep := fw.Run(c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, &perRank[r.RankID()])
-	})
-	return workload.ResultFromStats(params, rep.Elapsed, perRank), rep
+	return fw.Attach(c).Run(o.paramsFor(pattern, block))
 }
 
-// sweep produces the figure series for one pattern. Each (block size,
-// traced?) run is an independent simulation environment, so the sweep fans
-// out across OS threads; results are deterministic regardless of scheduling
-// because every environment is seeded identically.
-func (o Options) sweep(id, title string, pattern workload.Pattern) FigureResult {
+// Sweep measures one framework against one workload pattern across the
+// options' block sizes: the generic engine behind the figures and the
+// matrix. Each (block size, traced?) run is an independent simulation
+// environment, so the sweep fans out across OS threads; results are
+// deterministic regardless of scheduling because every environment is
+// seeded identically.
+func Sweep(fw framework.Framework, pattern workload.Pattern, o Options) (FigureResult, error) {
+	return o.sweep("sweep", fmt.Sprintf("%s overhead, %s", fw.Name(), pattern), fw, pattern)
+}
+
+func (o Options) sweep(id, title string, fw framework.Framework, pattern workload.Pattern) (FigureResult, error) {
 	fig := FigureResult{
-		ID: id, Title: title, Pattern: pattern,
+		ID: id, Title: title, Framework: fw.Name(), Pattern: pattern,
 		Points: make([]BandwidthPoint, len(o.BlockSizes)),
 	}
+	errs := make([]error, len(o.BlockSizes))
 	var wg sync.WaitGroup
 	for i, block := range o.BlockSizes {
 		i, block := i, block
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var un, tr workload.Result
+			var un workload.Result
+			var rep framework.Report
+			var err error
 			var inner sync.WaitGroup
 			inner.Add(2)
 			go func() { defer inner.Done(); un = o.runUntraced(pattern, block) }()
-			go func() { defer inner.Done(); tr, _ = o.runTraced(pattern, block) }()
+			go func() { defer inner.Done(); rep, err = o.runTraced(fw, pattern, block) }()
 			inner.Wait()
+			if err != nil {
+				errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), pattern, block, err)
+				return
+			}
+			tr := rep.Result
 			pt := BandwidthPoint{
 				BlockBytes:      block,
 				UntracedMBps:    un.BandwidthBps() / 1e6,
 				TracedMBps:      tr.BandwidthBps() / 1e6,
 				UntracedElapsed: un.Elapsed,
-				TracedElapsed:   tr.Elapsed,
+				TracedElapsed:   rep.TracingElapsed,
+				TraceEvents:     rep.TraceEvents,
+				TraceBytes:      rep.TraceBytes,
+				Runs:            rep.Runs,
+				Deps:            rep.Deps,
+				ReplayMeasured:  rep.ReplayMeasured,
+				ReplayErr:       rep.ReplayErr,
 			}
 			if un.BandwidthBps() > 0 {
 				pt.BandwidthOvhFrac = (un.BandwidthBps() - tr.BandwidthBps()) / un.BandwidthBps()
 			}
 			if un.Elapsed > 0 {
-				pt.ElapsedOvhFrac = float64(tr.Elapsed-un.Elapsed) / float64(un.Elapsed)
+				pt.ElapsedOvhFrac = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
 			}
 			fig.Points[i] = pt
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fig, err
+		}
+	}
+	return fig, nil
+}
+
+// mustSweep wraps sweep for the built-in figures, whose frameworks cannot
+// fail a run.
+func (o Options) mustSweep(id, title string, fw framework.Framework, pattern workload.Pattern) FigureResult {
+	fig, err := o.sweep(id, title, fw, pattern)
+	if err != nil {
+		panic(err)
+	}
 	return fig
 }
 
@@ -180,18 +236,18 @@ func (o Options) sweep(id, title string, pattern workload.Pattern) FigureResult 
 // strided — "the benchmark parameterization most demanding on the parallel
 // I/O file system".
 func Figure2(o Options) FigureResult {
-	return o.sweep("fig2", "LANL-Trace overhead, N procs writing one shared file, strided", workload.N1Strided)
+	return o.mustSweep("fig2", "LANL-Trace overhead, N procs writing one shared file, strided", o.lanlFramework(), workload.N1Strided)
 }
 
 // Figure3 regenerates Figure 3: N processes writing one shared file,
 // non-strided.
 func Figure3(o Options) FigureResult {
-	return o.sweep("fig3", "LANL-Trace overhead, N procs writing one shared file, non-strided", workload.N1NonStrided)
+	return o.mustSweep("fig3", "LANL-Trace overhead, N procs writing one shared file, non-strided", o.lanlFramework(), workload.N1NonStrided)
 }
 
 // Figure4 regenerates Figure 4: N processes writing N files.
 func Figure4(o Options) FigureResult {
-	return o.sweep("fig4", "LANL-Trace overhead, N procs writing N files", workload.NToN)
+	return o.mustSweep("fig4", "LANL-Trace overhead, N procs writing N files", o.lanlFramework(), workload.NToN)
 }
 
 // Format renders the figure as an aligned text table (the repo's stand-in

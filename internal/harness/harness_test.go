@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"iotaxo/internal/framework"
 	"iotaxo/internal/workload"
 )
 
@@ -171,13 +173,119 @@ func TestFigure1OutputsLookRight(t *testing.T) {
 	}
 }
 
-func TestTable2MeasuredRenders(t *testing.T) {
+// matrixOptions is a minimal configuration for registry-wide matrix tests:
+// one block size keeps 5 frameworks x 3 patterns affordable.
+func matrixOptions() Options {
 	o := QuickOptions()
-	table := Table2Measured(ElapsedRange(o), TracefsExperiment(o), ParallelTraceExperiment(o))
-	for _, want := range []string{"LANL-Trace", "Tracefs", "//TRACE", "measured, this repository"} {
+	o.Ranks = 4
+	o.PerRankBytes = 1 << 20
+	o.BlockSizes = []int64{256 << 10}
+	return o
+}
+
+func TestMatrixSweepCoversEveryRegisteredFramework(t *testing.T) {
+	m, err := MatrixSweep(matrixOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.FrameworkNames()
+	if !reflect.DeepEqual(names, framework.Names()) {
+		t.Fatalf("matrix rows %v != registry %v", names, framework.Names())
+	}
+	for _, want := range []string{"LANL-Trace", "Tracefs", "//TRACE", "Multi-Layer Trace Analysis", "PathTrace (X-Trace style)"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if len(m.Cells) != len(names)*len(m.Patterns) {
+		t.Fatalf("cells = %d, want %d", len(m.Cells), len(names)*len(m.Patterns))
+	}
+	for _, cell := range m.Cells {
+		if len(cell.Points) != 1 {
+			t.Fatalf("cell %s/%s has %d points", cell.Framework, cell.Pattern, len(cell.Points))
+		}
+		p := cell.Points[0]
+		if p.TraceEvents == 0 {
+			t.Errorf("%s on %s traced no events", cell.Framework, cell.Pattern)
+		}
+		if p.Runs < 1 {
+			t.Errorf("%s on %s reports %d runs", cell.Framework, cell.Pattern, p.Runs)
+		}
+	}
+}
+
+func TestMatrixClassificationsFoldMeasurements(t *testing.T) {
+	m, err := MatrixSweep(matrixOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := m.Classifications()
+	if len(cs) != len(m.FrameworkNames()) {
+		t.Fatalf("classifications = %d", len(cs))
+	}
+	sawReplay := false
+	for _, c := range cs {
+		if !c.ElapsedOverhead.Measured {
+			t.Errorf("%s: overhead not folded in", c.Name)
+		}
+		if c.ElapsedOverhead.Description != "measured, this repository" {
+			t.Errorf("%s: description %q", c.Name, c.ElapsedOverhead.Description)
+		}
+		if c.Name == "//TRACE" {
+			if !c.ReplayFidelity.Supported {
+				t.Error("//TRACE replay fidelity not folded in")
+			}
+			sawReplay = true
+		}
+	}
+	if !sawReplay {
+		t.Fatal("no //TRACE row in classifications")
+	}
+	table := m.RenderComparison()
+	for _, want := range []string{"LANL-Trace", "Tracefs", "//TRACE", "Multi-Layer", "PathTrace", "measured, this repository"} {
 		if !strings.Contains(table, want) {
 			t.Fatalf("table missing %q:\n%s", want, table)
 		}
+	}
+	if !strings.Contains(m.Format(), "framework x workload") {
+		t.Fatalf("matrix format:\n%s", m.Format())
+	}
+}
+
+func TestGenericSweepMatchesFigure2(t *testing.T) {
+	// Figure 2 is a LANL-Trace instance of the generic sweep: the same
+	// framework/pattern through Sweep must produce identical points.
+	o := QuickOptions()
+	o.BlockSizes = o.BlockSizes[:2]
+	fig := Figure2(o)
+	sw, err := Sweep(framework.MustLookup("LANL-Trace"), workload.N1Strided, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig.Points, sw.Points) {
+		t.Fatalf("generic sweep diverged from Figure2:\n%+v\nvs\n%+v", fig.Points, sw.Points)
+	}
+}
+
+func TestMatrixSweepOfSingleFramework(t *testing.T) {
+	o := matrixOptions()
+	fw := framework.MustLookup("Tracefs")
+	m, err := MatrixSweepOf(o, fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FrameworkNames(); len(got) != 1 || got[0] != "Tracefs" {
+		t.Fatalf("names = %v", got)
+	}
+	c := m.Classifications()[0]
+	if !c.ElapsedOverhead.Measured {
+		t.Fatal("single-framework sweep did not fold overhead")
 	}
 }
 

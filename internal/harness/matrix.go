@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"iotaxo/internal/core"
+	"iotaxo/internal/framework"
+	"iotaxo/internal/workload"
+)
+
+// This file is the framework x workload matrix engine: MatrixSweep runs
+// every registered framework against every workload pattern through the
+// generic Sweep, then folds the measured overheads (and replay fidelity,
+// where a framework measures it) into each framework's classification.
+// There are no framework-specific branches here: adding a framework to the
+// registry adds a row to the matrix and a column to the measured Table 2.
+
+// MatrixPatterns returns the workload axis of the matrix: the paper's three
+// parallel I/O access patterns.
+func MatrixPatterns() []workload.Pattern {
+	return []workload.Pattern{workload.N1Strided, workload.N1NonStrided, workload.NToN}
+}
+
+// MatrixCell is one framework x pattern sweep.
+type MatrixCell struct {
+	Framework string
+	Pattern   workload.Pattern
+	Points    []BandwidthPoint
+}
+
+// ElapsedOvhRange returns the cell's elapsed-overhead envelope across block
+// sizes.
+func (c MatrixCell) ElapsedOvhRange() (min, max float64) {
+	min, max = 1e9, -1e9
+	for _, p := range c.Points {
+		if p.ElapsedOvhFrac < min {
+			min = p.ElapsedOvhFrac
+		}
+		if p.ElapsedOvhFrac > max {
+			max = p.ElapsedOvhFrac
+		}
+	}
+	return min, max
+}
+
+// MatrixResult is the full framework x pattern overhead matrix.
+type MatrixResult struct {
+	Patterns []workload.Pattern
+	// Cells is row-major: frameworks (in registry order) x Patterns.
+	Cells []MatrixCell
+
+	fws []framework.Framework
+}
+
+// MatrixSweep measures every registered framework on every workload pattern
+// through the generic sweep engine.
+func MatrixSweep(o Options) (MatrixResult, error) {
+	return MatrixSweepOf(o, framework.All()...)
+}
+
+// MatrixSweepOf is MatrixSweep restricted to the given frameworks (e.g. one
+// framework for `iotaxo -table card -measured`). Cells run concurrently;
+// every cell is a deterministic, independently seeded simulation.
+func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) {
+	patterns := MatrixPatterns()
+	m := MatrixResult{
+		Patterns: patterns,
+		Cells:    make([]MatrixCell, len(fws)*len(patterns)),
+		fws:      fws,
+	}
+	errs := make([]error, len(m.Cells))
+	var wg sync.WaitGroup
+	for fi, fw := range fws {
+		for pi, pattern := range patterns {
+			idx, fw, pattern := fi*len(patterns)+pi, fw, pattern
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fig, err := o.sweep("matrix", fmt.Sprintf("%s on %s", fw.Name(), pattern), fw, pattern)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				m.Cells[idx] = MatrixCell{Framework: fw.Name(), Pattern: pattern, Points: fig.Points}
+			}()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+// FrameworkNames returns the matrix's row order.
+func (m MatrixResult) FrameworkNames() []string {
+	out := make([]string, len(m.fws))
+	for i, fw := range m.fws {
+		out[i] = fw.Name()
+	}
+	return out
+}
+
+// row returns framework fi's cells.
+func (m MatrixResult) row(fi int) []MatrixCell {
+	return m.Cells[fi*len(m.Patterns) : (fi+1)*len(m.Patterns)]
+}
+
+// Classifications returns each swept framework's classification with the
+// measured elapsed-overhead envelope — and replay fidelity, where the
+// framework measured it — folded in. This is the one generic path from
+// measurement to the taxonomy's quantitative axes.
+//
+// The envelope spans workload patterns and block sizes for each framework
+// *as registered* (its default configuration). Configuration frontiers —
+// Tracefs's feature ladder, //TRACE's sampling levels (where zero sampling
+// drives overhead toward the paper's ~0% floor) — are the deep-dive
+// experiments' job: TracefsExperiment and ParallelTraceExperiment.
+func (m MatrixResult) Classifications() []*core.Classification {
+	out := make([]*core.Classification, 0, len(m.fws))
+	for fi, fw := range m.fws {
+		c := fw.Classification()
+		min, max := 1e9, -1e9
+		bestReplay, replayed := 1e9, false
+		points := 0
+		for _, cell := range m.row(fi) {
+			for _, p := range cell.Points {
+				points++
+				if p.ElapsedOvhFrac < min {
+					min = p.ElapsedOvhFrac
+				}
+				if p.ElapsedOvhFrac > max {
+					max = p.ElapsedOvhFrac
+				}
+				if p.ReplayMeasured {
+					replayed = true
+					if p.ReplayErr < bestReplay {
+						bestReplay = p.ReplayErr
+					}
+				}
+			}
+		}
+		if points > 0 {
+			c.ElapsedOverhead = core.OverheadReport{
+				Measured:    true,
+				ElapsedMin:  min,
+				ElapsedMax:  max,
+				Description: "measured, this repository",
+			}
+		}
+		if replayed {
+			c.ReplayFidelity = core.FidelityReport{Supported: true, ErrorFrac: bestReplay}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RenderComparison renders the measured classification summary (Table 2
+// extended to every swept framework).
+func (m MatrixResult) RenderComparison() string {
+	return core.RenderComparison(m.Classifications()...)
+}
+
+// Format renders the overhead matrix: one row per framework, one column per
+// pattern, each cell the elapsed-overhead range across block sizes.
+func (m MatrixResult) Format() string {
+	var b strings.Builder
+	b.WriteString("# framework x workload elapsed-overhead matrix (min-max % across block sizes)\n")
+	nameW := len("framework")
+	for _, fw := range m.fws {
+		if n := len(fw.Name()); n > nameW {
+			nameW = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW, "framework")
+	for _, p := range m.Patterns {
+		fmt.Fprintf(&b, " %18s", p)
+	}
+	fmt.Fprintf(&b, " %8s %6s\n", "events", "runs")
+	for fi, fw := range m.fws {
+		fmt.Fprintf(&b, "%-*s", nameW, fw.Name())
+		var events int64
+		runs := 0
+		for _, cell := range m.row(fi) {
+			min, max := cell.ElapsedOvhRange()
+			fmt.Fprintf(&b, " %17s%%", fmt.Sprintf("%.1f - %.1f", min*100, max*100))
+			for _, p := range cell.Points {
+				events += p.TraceEvents
+				if p.Runs > runs {
+					runs = p.Runs
+				}
+			}
+		}
+		fmt.Fprintf(&b, " %8d %6d\n", events, runs)
+	}
+	return b.String()
+}

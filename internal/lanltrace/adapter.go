@@ -1,0 +1,66 @@
+package lanltrace
+
+import (
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/core"
+	"iotaxo/internal/framework"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+	"iotaxo/internal/workload"
+)
+
+// AsFramework adapts a LANL-Trace configuration to the common framework
+// registry interface. The default (ltrace-mode) instance is registered at
+// init; strace-mode instances are built on demand by the harness.
+func AsFramework(cfg Config) framework.Framework { return &fwAdapter{cfg: cfg.fix()} }
+
+func init() { framework.Register(AsFramework(DefaultConfig())) }
+
+type fwAdapter struct{ cfg Config }
+
+func (a *fwAdapter) Name() string                         { return "LANL-Trace" }
+func (a *fwAdapter) Classification() *core.Classification { return core.PaperLANLTrace() }
+
+func (a *fwAdapter) Attach(c *cluster.Cluster) framework.Session {
+	return &fwSession{fw: New(a.cfg), c: c}
+}
+
+type fwSession struct {
+	fw  *Framework
+	c   *cluster.Cluster
+	rep *Report
+}
+
+// Run executes the workload under strace/ltrace wrapping, exactly as the
+// real tool does: timing job, traced application, timing job.
+func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
+	perRank := make([]workload.RankStats, s.c.Ranks())
+	rep := s.fw.Run(s.c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
+		workload.Program(p, r, params, &perRank[r.RankID()])
+	})
+	s.rep = rep
+	return framework.Report{
+		Result:         workload.ResultFromStats(params, rep.Elapsed, perRank),
+		TracingElapsed: rep.Elapsed,
+		Runs:           1,
+		TraceEvents:    rep.TraceEvents,
+		TraceBytes:     rep.TraceBytes,
+	}, nil
+}
+
+// Sources streams each rank's raw trace file, time-ordered within the rank.
+func (s *fwSession) Sources() []trace.Source {
+	if s.rep == nil {
+		return nil
+	}
+	out := make([]trace.Source, 0, len(s.rep.PerRank))
+	for i := range s.rep.PerRank {
+		out = append(out, s.rep.RankSource(i))
+	}
+	return out
+}
+
+// Report exposes the full LANL-Trace report (timing samples, clock
+// estimates) for callers that need more than the generic Report.
+func (s *fwSession) Report() *Report { return s.rep }

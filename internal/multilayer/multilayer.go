@@ -69,6 +69,10 @@ type Session struct {
 // ptrace).
 func Attach(c *cluster.Cluster) *Session {
 	s := &Session{cluster: c}
+	// firstRank maps each node to the first rank it hosts (the common
+	// one-rank-per-node case; with multiple ranks per node FS events
+	// attribute to the first).
+	firstRank := make(map[string]int, c.World.Size())
 	for i := 0; i < c.World.Size(); i++ {
 		r := c.World.Rank(i)
 		libCol := &interpose.Collector{}
@@ -77,30 +81,24 @@ func Attach(c *cluster.Cluster) *Session {
 		r.Proc().AttachHook(interpose.NewRecorder(interpose.VFSHook(), sysCol))
 		s.lib = append(s.lib, libCol)
 		s.sys = append(s.sys, sysCol)
+		if _, seen := firstRank[r.Node()]; !seen {
+			firstRank[r.Node()] = i
+		}
 	}
-	for i, k := range c.Kernels {
+	for _, k := range c.Kernels {
 		lower, ok := k.MountedAt(cluster.PFSMount)
 		if !ok {
 			continue
 		}
-		fl := &fsLayer{lower: lower, kernel: k, rank: rankOnNode(c, i)}
+		rank, ok := firstRank[k.Node()]
+		if !ok {
+			rank = -1
+		}
+		fl := &fsLayer{lower: lower, kernel: k, rank: rank}
 		k.Mount(cluster.PFSMount, fl)
 		s.fs = append(s.fs, fl)
 	}
 	return s
-}
-
-// rankOnNode finds the first rank hosted by compute node i (the common
-// one-rank-per-node case; with multiple ranks per node FS events attribute
-// to the first).
-func rankOnNode(c *cluster.Cluster, node int) int {
-	name := c.Kernels[node].Node()
-	for r := 0; r < c.World.Size(); r++ {
-		if c.World.Rank(r).Node() == name {
-			return r
-		}
-	}
-	return -1
 }
 
 // fsLayer is the VFS-boundary probe: a thin instrumenting wrapper that
@@ -260,21 +258,40 @@ func within(inner, outer *trace.Record, slack sim.Duration) bool {
 		inner.Time+inner.Dur <= outer.Time+outer.Dur+slack
 }
 
-// Analyze correlates the three layers' events per rank.
+// searchFrom returns the first index in time-sorted recs whose start time
+// is >= t: the left edge of an interval's candidate window.
+func searchFrom(recs []trace.Record, t sim.Time) int {
+	return sort.Search(len(recs), func(i int) bool { return recs[i].Time >= t })
+}
+
+// sortedByTime returns recs ordered by start time. Per-rank records are
+// emitted by a single sequential process and thus already time-ordered, so
+// this is normally a copy; the stable sort keeps emission order on ties,
+// preserving the matching semantics of an in-order scan.
+func sortedByTime(recs []trace.Record) []trace.Record {
+	out := make([]trace.Record, len(recs))
+	copy(out, recs)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Analyze correlates the three layers' events per rank. Because each
+// layer's records are time-sorted, the candidates nested inside an interval
+// form a contiguous window: a binary search finds its left edge and a
+// bounded forward sweep consumes it, replacing the all-pairs
+// O(lib x sys x fs) scan with O((lib + sys + fs) log n + matches).
 func (s *Session) Analyze() Breakdown {
 	const slack = 50 * sim.Microsecond
 	var out Breakdown
 	// Index FS records by rank.
 	fsByRank := make(map[int][]trace.Record)
 	for _, fl := range s.fs {
-		for i := range fl.col.Records {
-			fsByRank[fl.rank] = append(fsByRank[fl.rank], fl.col.Records[i])
-		}
+		fsByRank[fl.rank] = append(fsByRank[fl.rank], fl.col.Records...)
 	}
 	for rank := range s.lib {
-		libRecs := s.lib[rank].Records
-		sysRecs := s.sys[rank].Records
-		fsRecs := fsByRank[rank]
+		libRecs := sortedByTime(s.lib[rank].Records)
+		sysRecs := sortedByTime(s.sys[rank].Records)
+		fsRecs := sortedByTime(fsByRank[rank])
 		usedSys := make([]bool, len(sysRecs))
 		usedFS := make([]bool, len(fsRecs))
 
@@ -291,14 +308,16 @@ func (s *Session) Analyze() Breakdown {
 				Total: mpiRec.Dur,
 			}
 			var sysTime, fsTime sim.Duration
-			for j := range sysRecs {
+			mpiEnd := mpiRec.Time + mpiRec.Dur
+			for j := searchFrom(sysRecs, mpiRec.Time-slack); j < len(sysRecs) && sysRecs[j].Time <= mpiEnd+slack; j++ {
 				if usedSys[j] || !within(&sysRecs[j], mpiRec, slack) {
 					continue
 				}
 				usedSys[j] = true
 				cb.NestedSyscalls++
 				sysTime += sysRecs[j].Dur
-				for k := range fsRecs {
+				sysEnd := sysRecs[j].Time + sysRecs[j].Dur
+				for k := searchFrom(fsRecs, sysRecs[j].Time-slack); k < len(fsRecs) && fsRecs[k].Time <= sysEnd+slack; k++ {
 					if usedFS[k] || !within(&fsRecs[k], &sysRecs[j], slack) {
 						continue
 					}

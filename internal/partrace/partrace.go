@@ -147,9 +147,14 @@ func (h *ioHook) Exit(p *sim.Proc, rec *trace.Record) {
 	}
 }
 
-// runObserved executes one traced run and returns per-rank hooks + elapsed.
+// runObserved executes one traced run on a fresh cluster and returns
+// per-rank hooks + elapsed.
 func (f *Framework) runObserved(factory func() *cluster.Cluster, program func(*sim.Proc, *mpi.Rank), throttledRank int) ([]*ioHook, sim.Duration, error) {
-	c := factory()
+	return f.runObservedOn(factory(), program, throttledRank)
+}
+
+// runObservedOn executes one traced run on the given (unused) cluster.
+func (f *Framework) runObservedOn(c *cluster.Cluster, program func(*sim.Proc, *mpi.Rank), throttledRank int) ([]*ioHook, sim.Duration, error) {
 	n := c.World.Size()
 	var raw *interpose.StreamSink
 	if f.cfg.RawTrace != nil && throttledRank < 0 {
@@ -197,14 +202,27 @@ func (g *GenResult) OverheadFrac() float64 {
 // identical fresh clusters (the deterministic simulation makes repeated
 // runs comparable, as repeated batch runs were on the paper's testbed).
 func (f *Framework) Generate(factory func() *cluster.Cluster, program func(*sim.Proc, *mpi.Rank)) (*GenResult, error) {
+	res, _, _, err := f.generate(nil, factory, program, program)
+	return res, err
+}
+
+// generate is the shared trace-generation pipeline behind Generate and the
+// framework-registry adapter: untraced baseline, baseline traced run
+// (on base when non-nil, else a fresh cluster) executing baseProgram, then
+// one throttled discovery run of program per sampled rank. It also returns
+// the baseline run's hooks and elapsed time for callers that need the raw
+// observation.
+func (f *Framework) generate(base *cluster.Cluster, factory func() *cluster.Cluster, baseProgram, program func(*sim.Proc, *mpi.Rank)) (*GenResult, []*ioHook, sim.Duration, error) {
 	// Untraced baseline (for fidelity and overhead accounting).
-	c0 := factory()
-	untraced := c0.World.RunToCompletion(program)
+	untraced := factory().World.RunToCompletion(program)
 
 	// Baseline traced run: the replayable trace's op streams.
-	baseHooks, baseElapsed, err := f.runObserved(factory, program, -1)
+	if base == nil {
+		base = factory()
+	}
+	baseHooks, baseElapsed, err := f.runObservedOn(base, baseProgram, -1)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	n := len(baseHooks)
 
@@ -219,7 +237,7 @@ func (f *Framework) Generate(factory func() *cluster.Cluster, program func(*sim.
 	for probe := 0; probe < probes; probe++ {
 		thrHooks, thrElapsed, err := f.runObserved(factory, program, probe)
 		if err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		res.Runs++
 		res.TracingElapsed += thrElapsed
@@ -229,11 +247,11 @@ func (f *Framework) Generate(factory func() *cluster.Cluster, program func(*sim.
 
 	tr, err := buildTrace(baseHooks, deps, untraced)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	res.Trace = tr
 	res.DepCount = len(tr.Deps)
-	return res, nil
+	return res, baseHooks, baseElapsed, nil
 }
 
 // findDeps compares a throttled run against the baseline: ops on other

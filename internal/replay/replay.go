@@ -278,7 +278,6 @@ func Execute(c *cluster.Cluster, tr *Trace) (Result, error) {
 			perRank[rank] = p.Now() - start
 		})
 	}
-	startAll := env.Now()
 	env.Go("replay.join", func(p *sim.Proc) { wg.Wait(p) })
 	env.Run()
 	if firstErr != nil {
@@ -290,7 +289,6 @@ func Execute(c *cluster.Cluster, tr *Trace) (Result, error) {
 			last = d
 		}
 	}
-	_ = startAll
 	return Result{Elapsed: last, PerRank: perRank}, nil
 }
 
