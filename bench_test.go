@@ -184,24 +184,31 @@ func BenchmarkParallelTraceFidelity(b *testing.B) {
 // --- MATRIX: framework x workload overhead matrix ---
 
 // BenchmarkMatrixSweep measures every registered framework on every
-// workload pattern through the one generic sweep path, at QuickOptions
-// scale: the engine behind `tracebench -exp matrix` and the measured
-// Table 2.
+// registered workload through the one generic sweep path: the engine
+// behind `tracebench -exp matrix` and the measured Table 2. One
+// sub-benchmark per workload keeps the BENCH series tracking the full
+// matrix as the workload axis grows.
 func BenchmarkMatrixSweep(b *testing.B) {
-	o := harness.QuickOptions()
-	var cells int
-	for i := 0; i < b.N; i++ {
-		m, err := harness.MatrixSweep(o)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cells = len(m.Cells)
-		if cells == 0 {
-			b.Fatal("empty matrix")
-		}
+	for _, w := range workload.All() {
+		w := w
+		b.Run(w.Name(), func(b *testing.B) {
+			o := harness.MatrixSmokeOptions()
+			o.Workloads = []workload.Workload{w}
+			var cells int
+			for i := 0; i < b.N; i++ {
+				m, err := harness.MatrixSweep(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cells = len(m.Cells)
+				if cells == 0 {
+					b.Fatal("empty matrix")
+				}
+			}
+			b.ReportMetric(float64(cells), "cells")
+			b.ReportMetric(float64(cells/len(o.Workloads)), "frameworks")
+		})
 	}
-	b.ReportMetric(float64(cells), "cells")
-	b.ReportMetric(float64(cells/len(harness.MatrixPatterns())), "frameworks")
 }
 
 // --- Ablations ---

@@ -1,18 +1,25 @@
 // Command iotaxo prints the paper's taxonomy tables: the Table 1 template,
 // the built-in Table 2 classification of LANL-Trace, Tracefs and //TRACE,
-// single-framework cards, and (with -measured) classifications with
-// overheads re-measured on the simulated cluster. Framework names resolve
-// through the registry in internal/framework, so every registered framework
-// — including the future-work ones — works with -table card and -measured.
+// single-framework cards, the framework x workload overhead matrix, and
+// (with -measured) classifications with overheads re-measured on the
+// simulated cluster. Framework names resolve through the registry in
+// internal/framework and workload names through the registry in
+// internal/workload, so every registered framework and scenario — including
+// ones added after this command was written — works with -table card,
+// -table matrix, -measured, and -workload.
 //
 // Usage:
 //
 //	iotaxo -list
+//	iotaxo -list-workloads
 //	iotaxo -table template
 //	iotaxo -table summary -format markdown
 //	iotaxo -table card -framework Tracefs
 //	iotaxo -table card -framework PathTrace -measured
+//	iotaxo -table card -framework Tracefs -measured -workload metadata-storm
 //	iotaxo -table summary -measured
+//	iotaxo -table matrix
+//	iotaxo -table matrix -workload checkpoint-restart
 package main
 
 import (
@@ -24,19 +31,43 @@ import (
 	"iotaxo/internal/core"
 	"iotaxo/internal/framework"
 	"iotaxo/internal/harness"
+	"iotaxo/internal/workload"
 )
 
 func main() {
-	table := flag.String("table", "summary", "which table: template | summary | extended | card")
+	table := flag.String("table", "summary", "which table: template | summary | extended | card | matrix")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	fwName := flag.String("framework", "LANL-Trace", "framework name for -table card (see -list)")
+	wlName := flag.String("workload", "", "restrict measurement to one workload (see -list-workloads); empty = all")
 	measured := flag.Bool("measured", false, "re-measure overheads on the simulated cluster (slow)")
 	list := flag.Bool("list", false, "list registered frameworks and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Print(listOutput())
 		return
+	}
+	if *listWorkloads {
+		fmt.Print(listWorkloadsOutput())
+		return
+	}
+
+	// -measured keeps the QuickOptions block-size sweep (a real min-max
+	// envelope per cell); -table matrix runs the cheaper single-point smoke
+	// configuration, sized for the full registry x registry grid.
+	o := harness.QuickOptions()
+	if *table == "matrix" {
+		o = harness.MatrixSmokeOptions()
+	}
+	if *wlName != "" {
+		w, ok := workload.ByName(*wlName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown workload %q (have %s)\n",
+				*wlName, strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+		o.Workloads = []workload.Workload{w}
 	}
 
 	switch *table {
@@ -52,7 +83,7 @@ func main() {
 		c := fw.Classification()
 		if *measured {
 			fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
-			m, err := harness.MatrixSweepOf(harness.QuickOptions(), fw)
+			m, err := harness.MatrixSweepOf(o, fw)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 				os.Exit(1)
@@ -60,12 +91,20 @@ func main() {
 			c = m.Classifications()[0]
 		}
 		fmt.Print(core.RenderCard(c))
+	case "matrix":
+		fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
+		m, err := harness.MatrixSweep(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(m.Format())
 	case "extended":
 		fmt.Print(extendedTable())
 	case "summary":
 		if *measured {
 			fmt.Println("# measuring on the simulated cluster (scaled-down volumes)...")
-			m, err := harness.MatrixSweep(harness.QuickOptions())
+			m, err := harness.MatrixSweep(o)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 				os.Exit(1)
@@ -91,8 +130,8 @@ func main() {
 	}
 }
 
-// listOutput renders the registry: every framework that can be classified
-// and measured, in deterministic order.
+// listOutput renders the framework registry: every framework that can be
+// classified and measured, in deterministic order.
 func listOutput() string {
 	var b strings.Builder
 	b.WriteString("# registered I/O tracing frameworks\n")
@@ -103,6 +142,17 @@ func listOutput() string {
 			events[i] = string(e)
 		}
 		fmt.Fprintf(&b, "%-28s %s\n", fw.Name(), strings.Join(events, ", "))
+	}
+	return b.String()
+}
+
+// listWorkloadsOutput renders the workload registry: every scenario the
+// overhead matrix measures frameworks against, in deterministic order.
+func listWorkloadsOutput() string {
+	var b strings.Builder
+	b.WriteString("# registered workload scenarios\n")
+	for _, w := range workload.All() {
+		fmt.Fprintf(&b, "%-20s %s\n", w.Name(), w.Description())
 	}
 	return b.String()
 }

@@ -21,6 +21,25 @@ Tracefs                      File system operations
 	}
 }
 
+// TestListWorkloadsGolden pins the -list-workloads rendering: registry-
+// ordered, one scenario per line with its description. A new registered
+// workload is expected to change this output — update the golden text
+// alongside the registration.
+func TestListWorkloadsGolden(t *testing.T) {
+	want := `# registered workload scenarios
+N-1 non-strided      mpi_io_test: one shared file, per-rank contiguous segments (Figure 3)
+N-1 strided          mpi_io_test: one shared file, block-interleaved ranks (Figure 2)
+N-N                  mpi_io_test: every rank writes its own file (Figure 4)
+analytics-scan       read-mostly strided scan over a pre-populated shared file
+checkpoint-restart   barrier-phased checkpoint write bursts, then a full restart read of the last checkpoint
+metadata-storm       N-N create/stat/unlink storm over many small files
+producer-consumer    paired ranks: producers write shared-file segments their partner rank reads back
+`
+	if got := listWorkloadsOutput(); got != want {
+		t.Fatalf("-list-workloads output drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestExtendedTableSmoke checks the -table extended rendering covers every
 // registered framework and every taxonomy axis row.
 func TestExtendedTableSmoke(t *testing.T) {

@@ -10,8 +10,9 @@
 //
 // Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace matrix
 // table1 table2 all. The matrix and table2 experiments sweep every
-// registered framework (see internal/framework) against every workload
-// pattern; use -quick to keep them CI-friendly.
+// registered framework (see internal/framework) against every registered
+// workload scenario (see internal/workload); use -quick to keep them
+// CI-friendly, or -workload to restrict the workload axis.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"iotaxo/internal/core"
 	"iotaxo/internal/harness"
 	"iotaxo/internal/lanltrace"
+	"iotaxo/internal/workload"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 	ranks := flag.Int("ranks", 0, "override rank count")
 	mode := flag.String("mode", "ltrace", "LANL-Trace mode for overhead runs: strace | ltrace")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	wlName := flag.String("workload", "", "restrict matrix/table2 to one registered workload (default: all)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -49,6 +52,15 @@ func main() {
 		o.Mode = lanltrace.ModeStrace
 	}
 	o.Seed = *seed
+	if *wlName != "" {
+		w, ok := workload.ByName(*wlName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracebench: unknown workload %q (have %s)\n",
+				*wlName, strings.Join(workload.Names(), ", "))
+			os.Exit(2)
+		}
+		o.Workloads = []workload.Workload{w}
+	}
 
 	// matrix and table2 render the same MatrixSweep; compute it once when
 	// -exp all asks for both.
@@ -93,7 +105,7 @@ func main() {
 		case "collective":
 			fmt.Print(harness.CollectiveAblation(o).Format())
 		case "matrix":
-			fmt.Println("# Framework x workload overhead matrix (every registered framework)")
+			fmt.Println("# Framework x workload overhead matrix (every registered framework x every registered workload)")
 			fmt.Print(matrix().Format())
 		case "table1":
 			fmt.Println("# Table 1: summary table template")

@@ -12,9 +12,12 @@
 //
 // Every framework — the surveyed three plus the future-work multi-layer
 // analyzer and path-based tracer — registers an implementation of the
-// internal/framework interface, and internal/harness measures any
-// registered framework on any workload pattern through one generic sweep
-// engine (Sweep, MatrixSweep).
+// internal/framework interface. Workloads are a registry too: the paper's
+// three mpi_io_test access patterns plus checkpoint/restart, metadata
+// storm, analytics scan, and producer-consumer scenarios all implement the
+// internal/workload Workload interface, and internal/harness measures any
+// registered framework on any registered workload through one generic
+// sweep engine (Sweep, MatrixSweep).
 //
 // See README.md for a guided tour of the layers, the streaming trace
 // pipeline, and the command-line tools. The root-level benchmarks in

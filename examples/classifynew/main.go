@@ -78,8 +78,8 @@ type kprobeSession struct {
 	recs []*interpose.Recorder
 }
 
-func (s *kprobeSession) Run(params workload.Params) (framework.Report, error) {
-	res := framework.RunWorkload(s.c, params)
+func (s *kprobeSession) Run(spec workload.Spec) (framework.Report, error) {
+	res := framework.RunWorkload(s.c, spec)
 	rep := framework.Report{Result: res, TracingElapsed: res.Elapsed, Runs: 1}
 	for _, r := range s.recs {
 		rep.TraceEvents += r.Events

@@ -21,7 +21,6 @@ import (
 
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/core"
-	"iotaxo/internal/mpi"
 	"iotaxo/internal/sim"
 	"iotaxo/internal/trace"
 	"iotaxo/internal/workload"
@@ -42,12 +41,13 @@ type Framework interface {
 	Attach(c *cluster.Cluster) Session
 }
 
-// Session is one attached tracing instance. Run executes the benchmark
-// workload under tracing and reports the measurement; Sources exposes the
-// records the tracer captured, one stream per trace file it would have
-// written.
+// Session is one attached tracing instance. Run executes a workload spec
+// under tracing and reports the measurement; Sources exposes the records
+// the tracer captured, one stream per trace file it would have written.
+// The spec is any registered workload instantiated at some scale — sessions
+// wrap spec.Program with their probes and carry no workload knowledge.
 type Session interface {
-	Run(params workload.Params) (Report, error)
+	Run(spec workload.Spec) (Report, error)
 	Sources() []trace.Source
 }
 
@@ -77,15 +77,11 @@ type Report struct {
 	ReplayErr      float64
 }
 
-// RunWorkload executes the mpi_io_test program on the cluster with per-rank
+// RunWorkload executes a workload spec on the cluster with per-rank
 // statistics: the shared Session.Run body for frameworks whose probes are
 // attached before launch.
-func RunWorkload(c *cluster.Cluster, params workload.Params) workload.Result {
-	perRank := make([]workload.RankStats, c.Ranks())
-	elapsed := c.World.RunToCompletion(func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, &perRank[r.RankID()])
-	})
-	return workload.ResultFromStats(params, elapsed, perRank)
+func RunWorkload(c *cluster.Cluster, spec workload.Spec) workload.Result {
+	return spec.Run(c.World)
 }
 
 // --- registry ---

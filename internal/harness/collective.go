@@ -34,7 +34,7 @@ func CollectiveAblation(o Options) CollectiveResult {
 	blocks := []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10}
 	var res CollectiveResult
 	for _, block := range blocks {
-		params := o.paramsFor(workload.N1Strided, block)
+		params := o.scaleFor(block).MPIIOParams(workload.N1Strided)
 		cInd := o.newCluster()
 		ind := workload.Run(cInd.World, params)
 		params.Collective = true

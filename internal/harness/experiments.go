@@ -34,15 +34,15 @@ func Figure1(o Options) Figure1Outputs {
 	cfg.ComputeNodes = 8
 	cfg.Seed = o.Seed
 	c := cluster.New(cfg)
-	params := workload.Params{
+	spec := workload.Params{
 		Pattern:   workload.N1Strided,
 		BlockSize: 32768,
 		NObj:      1,
 		Path:      "/pfs/mpi_io_test.out",
-	}
+	}.Spec()
 	fw := lanltrace.New(lanltrace.DefaultConfig())
-	rep := fw.Run(c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, nil)
+	rep := fw.Run(c.World, spec.CommandLine, func(p *sim.Proc, r *mpi.Rank) {
+		spec.Program(p, r, nil)
 	})
 	raw := rep.RawTraceText(0)
 	// Clip the raw sample like the figure does.
@@ -55,7 +55,7 @@ func Figure1(o Options) Figure1Outputs {
 		Raw:        strings.Join(lines, "\n") + "\n",
 		Timing:     rep.AggregateTimingText(),
 		Summary:    rep.CallSummaryText(),
-		CmdLine:    params.CommandLine(),
+		CmdLine:    spec.CommandLine,
 		RawRecords: rep.PerRank[0].Len(),
 	}
 }
@@ -87,11 +87,12 @@ func InTextOverheads(o Options) InTextResult {
 	for pi, pattern := range patterns {
 		for bi, block := range blocks {
 			idx, pattern, block := pi*len(blocks)+bi, pattern, block
+			wl := workload.PatternWorkload(pattern)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				un := o.runUntraced(pattern, block)
-				rep, err := o.runTraced(fw, pattern, block)
+				un := o.runUntraced(wl, block)
+				rep, err := o.runTraced(fw, wl, block)
 				if err != nil {
 					panic(err)
 				}
@@ -129,15 +130,16 @@ func (r InTextResult) Format() string {
 
 // ElapsedRangeResult is the observed elapsed-overhead envelope.
 type ElapsedRangeResult struct {
-	Min, Max float64
-	Points   []BandwidthPoint
-	Patterns []workload.Pattern
+	Min, Max  float64
+	Points    []BandwidthPoint
+	Workloads []string
 }
 
 // ElapsedRange sweeps all patterns and block sizes, reporting the
-// elapsed-time overhead range (paper: 24% to 222%).
+// elapsed-time overhead range (paper: 24% to 222%). With no measured
+// points the envelope is zero, never a sentinel.
 func ElapsedRange(o Options) ElapsedRangeResult {
-	res := ElapsedRangeResult{Min: 1e9, Max: -1e9}
+	var res ElapsedRangeResult
 	figs := make([]FigureResult, 3)
 	var wg sync.WaitGroup
 	for i, fn := range []func(Options) FigureResult{Figure2, Figure3, Figure4} {
@@ -151,8 +153,11 @@ func ElapsedRange(o Options) ElapsedRangeResult {
 	wg.Wait()
 	for _, fig := range figs {
 		for _, p := range fig.Points {
+			if len(res.Points) == 0 {
+				res.Min, res.Max = p.ElapsedOvhFrac, p.ElapsedOvhFrac
+			}
 			res.Points = append(res.Points, p)
-			res.Patterns = append(res.Patterns, fig.Pattern)
+			res.Workloads = append(res.Workloads, fig.Workload)
 			if p.ElapsedOvhFrac < res.Min {
 				res.Min = p.ElapsedOvhFrac
 			}
@@ -233,8 +238,8 @@ func tracefsVariants() []struct {
 // workload — the I/O-intensive end of the sweep.
 func TracefsExperiment(o Options) TracefsResult {
 	const block = 64 << 10
-	pattern := workload.N1Strided
-	base := o.runUntraced(pattern, block)
+	wl := workload.PatternWorkload(workload.N1Strided)
+	base := o.runUntraced(wl, block)
 
 	variants := tracefsVariants()
 	res := TracefsResult{Rows: make([]TracefsRow, len(variants)+1)}
@@ -245,7 +250,7 @@ func TracefsExperiment(o Options) TracefsResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep, err := o.runTraced(tracefs.AsFramework(v.cfg), pattern, block)
+			rep, err := o.runTraced(tracefs.AsFramework(v.cfg), wl, block)
 			if err != nil {
 				panic(err)
 			}
@@ -309,20 +314,20 @@ func ParallelTraceExperiment(o Options) PartraceResult {
 	if po.Ranks > 8 {
 		po.Ranks = 8 // dependency probing is O(runs); keep the sweep tractable
 	}
-	params := workload.Params{
+	spec := workload.Params{
 		Pattern:      workload.N1Strided,
 		BlockSize:    256 << 10,
 		NObj:         8,
 		Path:         "/pfs/app.out",
 		BarrierEvery: 2,
-	}
-	un := workload.Run(po.newCluster().World, params)
+	}.Spec()
+	un := spec.Run(po.newCluster().World)
 
 	var res PartraceResult
 	for _, sampled := range []int{0, 1, 2, po.Ranks} {
 		cfg := partrace.DefaultConfig()
 		cfg.SampledRanks = sampled
-		rep, err := partrace.AsFramework(cfg).Attach(po.newCluster()).Run(params)
+		rep, err := partrace.AsFramework(cfg).Attach(po.newCluster()).Run(spec)
 		if err != nil {
 			panic(err)
 		}
@@ -353,21 +358,26 @@ func (r PartraceResult) Format() string {
 	return b.String()
 }
 
-// BestFidelity returns the smallest fidelity error across rows.
+// BestFidelity returns the smallest fidelity error across rows (0 when no
+// rows were measured).
 func (r PartraceResult) BestFidelity() float64 {
-	best := 1e9
-	for _, row := range r.Rows {
-		if row.FidelityErr < best {
+	best := 0.0
+	for i, row := range r.Rows {
+		if i == 0 || row.FidelityErr < best {
 			best = row.FidelityErr
 		}
 	}
 	return best
 }
 
-// OverheadRange returns the overhead envelope.
+// OverheadRange returns the overhead envelope (zero when no rows were
+// measured, never a sentinel).
 func (r PartraceResult) OverheadRange() (min, max float64) {
-	min, max = 1e9, -1e9
-	for _, row := range r.Rows {
+	for i, row := range r.Rows {
+		if i == 0 {
+			min, max = row.OverheadFrac, row.OverheadFrac
+			continue
+		}
 		if row.OverheadFrac < min {
 			min = row.OverheadFrac
 		}

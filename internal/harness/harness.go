@@ -4,11 +4,12 @@
 // feature-overhead measurements, the //TRACE fidelity/overhead sweep, the
 // Figure 1 sample outputs, and the measured classification summary.
 //
-// The engine is generic: Sweep measures any registered framework (see
-// internal/framework) against any workload pattern, and MatrixSweep runs
-// every registered framework against every pattern, folding the measured
-// overheads into each framework's taxonomy classification through one code
-// path. The named figure functions are LANL-Trace instances of Sweep.
+// The engine is generic on both axes: Sweep measures any registered
+// framework (see internal/framework) against any registered workload (see
+// internal/workload), and MatrixSweep runs every registered framework
+// against every registered workload, folding the measured overheads into
+// each framework's taxonomy classification through one code path. The
+// named figure functions are LANL-Trace x mpi_io_test instances of Sweep.
 //
 // Experiments run at a scaled-down data volume by default (the simulation's
 // cost is O(I/O events), and overhead *fractions* are volume-independent);
@@ -47,6 +48,9 @@ type Options struct {
 	Seed int64
 	// Mode selects the LANL-Trace tracer for the figure experiments.
 	Mode lanltrace.Mode
+	// Workloads restricts the matrix's workload axis; nil means every
+	// registered workload.
+	Workloads []workload.Workload
 }
 
 // DefaultOptions returns the scaled-down sweep: 32 ranks, 16 MiB per rank,
@@ -80,6 +84,18 @@ func QuickOptions() Options {
 	}
 }
 
+// MatrixSmokeOptions returns the smallest registry-wide configuration: one
+// block size at 4 ranks, affordable for every framework x every workload
+// under the race detector (CI's matrix-smoke step and `iotaxo -table
+// matrix`).
+func MatrixSmokeOptions() Options {
+	o := QuickOptions()
+	o.Ranks = 4
+	o.PerRankBytes = 1 << 20
+	o.BlockSizes = []int64{256 << 10}
+	return o
+}
+
 // newCluster builds a fresh testbed for one run.
 func (o Options) newCluster() *cluster.Cluster {
 	cfg := cluster.Default()
@@ -88,18 +104,9 @@ func (o Options) newCluster() *cluster.Cluster {
 	return cluster.New(cfg)
 }
 
-// paramsFor derives workload parameters for a pattern and block size.
-func (o Options) paramsFor(pattern workload.Pattern, block int64) workload.Params {
-	nobj := int(o.PerRankBytes / block)
-	if nobj < 1 {
-		nobj = 1
-	}
-	return workload.Params{
-		Pattern:   pattern,
-		BlockSize: block,
-		NObj:      nobj,
-		Path:      "/pfs/mpi_io_test.out",
-	}
+// scaleFor derives the workload scale at one block size.
+func (o Options) scaleFor(block int64) workload.Scale {
+	return workload.Scale{BlockSize: block, PerRankBytes: o.PerRankBytes}
 }
 
 // lanlFramework returns the LANL-Trace instance matching o.Mode, the tracer
@@ -134,41 +141,40 @@ type BandwidthPoint struct {
 }
 
 // FigureResult is one sweep's series: bandwidth vs block size for traced
-// and untraced runs of one framework on one pattern.
+// and untraced runs of one framework on one workload.
 type FigureResult struct {
 	ID        string
 	Title     string
 	Framework string
-	Pattern   workload.Pattern
+	Workload  string
 	Points    []BandwidthPoint
 }
 
 // runUntraced executes one untraced benchmark run.
-func (o Options) runUntraced(pattern workload.Pattern, block int64) workload.Result {
+func (o Options) runUntraced(w workload.Workload, block int64) workload.Result {
 	c := o.newCluster()
-	return workload.Run(c.World, o.paramsFor(pattern, block))
+	return w.Run(c.World, o.scaleFor(block))
 }
 
 // runTraced executes one traced benchmark run through the generic framework
 // interface: fresh cluster, attach, run.
-func (o Options) runTraced(fw framework.Framework, pattern workload.Pattern, block int64) (framework.Report, error) {
+func (o Options) runTraced(fw framework.Framework, w workload.Workload, block int64) (framework.Report, error) {
 	c := o.newCluster()
-	return fw.Attach(c).Run(o.paramsFor(pattern, block))
+	return fw.Attach(c).Run(w.Spec(o.scaleFor(block)))
 }
 
-// Sweep measures one framework against one workload pattern across the
-// options' block sizes: the generic engine behind the figures and the
-// matrix. Each (block size, traced?) run is an independent simulation
-// environment, so the sweep fans out across OS threads; results are
-// deterministic regardless of scheduling because every environment is
-// seeded identically.
-func Sweep(fw framework.Framework, pattern workload.Pattern, o Options) (FigureResult, error) {
-	return o.sweep("sweep", fmt.Sprintf("%s overhead, %s", fw.Name(), pattern), fw, pattern)
+// Sweep measures one framework against one workload across the options'
+// block sizes: the generic engine behind the figures and the matrix. Each
+// (block size, traced?) run is an independent simulation environment, so
+// the sweep fans out across OS threads; results are deterministic
+// regardless of scheduling because every environment is seeded identically.
+func Sweep(fw framework.Framework, w workload.Workload, o Options) (FigureResult, error) {
+	return o.sweep("sweep", fmt.Sprintf("%s overhead, %s", fw.Name(), w.Name()), fw, w)
 }
 
-func (o Options) sweep(id, title string, fw framework.Framework, pattern workload.Pattern) (FigureResult, error) {
+func (o Options) sweep(id, title string, fw framework.Framework, w workload.Workload) (FigureResult, error) {
 	fig := FigureResult{
-		ID: id, Title: title, Framework: fw.Name(), Pattern: pattern,
+		ID: id, Title: title, Framework: fw.Name(), Workload: w.Name(),
 		Points: make([]BandwidthPoint, len(o.BlockSizes)),
 	}
 	errs := make([]error, len(o.BlockSizes))
@@ -183,11 +189,11 @@ func (o Options) sweep(id, title string, fw framework.Framework, pattern workloa
 			var err error
 			var inner sync.WaitGroup
 			inner.Add(2)
-			go func() { defer inner.Done(); un = o.runUntraced(pattern, block) }()
-			go func() { defer inner.Done(); rep, err = o.runTraced(fw, pattern, block) }()
+			go func() { defer inner.Done(); un = o.runUntraced(w, block) }()
+			go func() { defer inner.Done(); rep, err = o.runTraced(fw, w, block) }()
 			inner.Wait()
 			if err != nil {
-				errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), pattern, block, err)
+				errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), w.Name(), block, err)
 				return
 			}
 			tr := rep.Result
@@ -224,8 +230,8 @@ func (o Options) sweep(id, title string, fw framework.Framework, pattern workloa
 
 // mustSweep wraps sweep for the built-in figures, whose frameworks cannot
 // fail a run.
-func (o Options) mustSweep(id, title string, fw framework.Framework, pattern workload.Pattern) FigureResult {
-	fig, err := o.sweep(id, title, fw, pattern)
+func (o Options) mustSweep(id, title string, fw framework.Framework, w workload.Workload) FigureResult {
+	fig, err := o.sweep(id, title, fw, w)
 	if err != nil {
 		panic(err)
 	}
@@ -236,18 +242,18 @@ func (o Options) mustSweep(id, title string, fw framework.Framework, pattern wor
 // strided — "the benchmark parameterization most demanding on the parallel
 // I/O file system".
 func Figure2(o Options) FigureResult {
-	return o.mustSweep("fig2", "LANL-Trace overhead, N procs writing one shared file, strided", o.lanlFramework(), workload.N1Strided)
+	return o.mustSweep("fig2", "LANL-Trace overhead, N procs writing one shared file, strided", o.lanlFramework(), workload.PatternWorkload(workload.N1Strided))
 }
 
 // Figure3 regenerates Figure 3: N processes writing one shared file,
 // non-strided.
 func Figure3(o Options) FigureResult {
-	return o.mustSweep("fig3", "LANL-Trace overhead, N procs writing one shared file, non-strided", o.lanlFramework(), workload.N1NonStrided)
+	return o.mustSweep("fig3", "LANL-Trace overhead, N procs writing one shared file, non-strided", o.lanlFramework(), workload.PatternWorkload(workload.N1NonStrided))
 }
 
 // Figure4 regenerates Figure 4: N processes writing N files.
 func Figure4(o Options) FigureResult {
-	return o.mustSweep("fig4", "LANL-Trace overhead, N procs writing N files", o.lanlFramework(), workload.NToN)
+	return o.mustSweep("fig4", "LANL-Trace overhead, N procs writing N files", o.lanlFramework(), workload.PatternWorkload(workload.NToN))
 }
 
 // Format renders the figure as an aligned text table (the repo's stand-in

@@ -174,16 +174,12 @@ func TestFigure1OutputsLookRight(t *testing.T) {
 }
 
 // matrixOptions is a minimal configuration for registry-wide matrix tests:
-// one block size keeps 5 frameworks x 3 patterns affordable.
+// one block size keeps every framework x every workload affordable.
 func matrixOptions() Options {
-	o := QuickOptions()
-	o.Ranks = 4
-	o.PerRankBytes = 1 << 20
-	o.BlockSizes = []int64{256 << 10}
-	return o
+	return MatrixSmokeOptions()
 }
 
-func TestMatrixSweepCoversEveryRegisteredFramework(t *testing.T) {
+func TestMatrixSweepCoversEveryRegisteredFrameworkAndWorkload(t *testing.T) {
 	m, err := MatrixSweep(matrixOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +187,12 @@ func TestMatrixSweepCoversEveryRegisteredFramework(t *testing.T) {
 	names := m.FrameworkNames()
 	if !reflect.DeepEqual(names, framework.Names()) {
 		t.Fatalf("matrix rows %v != registry %v", names, framework.Names())
+	}
+	if !reflect.DeepEqual(m.WorkloadNames(), workload.Names()) {
+		t.Fatalf("matrix columns %v != registry %v", m.WorkloadNames(), workload.Names())
+	}
+	if len(m.Workloads) < 7 {
+		t.Fatalf("workload axis has %d entries, want >= 7 (3 patterns + 4 scenarios)", len(m.Workloads))
 	}
 	for _, want := range []string{"LANL-Trace", "Tracefs", "//TRACE", "Multi-Layer Trace Analysis", "PathTrace (X-Trace style)"} {
 		found := false
@@ -203,20 +205,66 @@ func TestMatrixSweepCoversEveryRegisteredFramework(t *testing.T) {
 			t.Fatalf("registry missing %q (have %v)", want, names)
 		}
 	}
-	if len(m.Cells) != len(names)*len(m.Patterns) {
-		t.Fatalf("cells = %d, want %d", len(m.Cells), len(names)*len(m.Patterns))
+	if len(m.Cells) != len(names)*len(m.Workloads) {
+		t.Fatalf("cells = %d, want %d", len(m.Cells), len(names)*len(m.Workloads))
 	}
 	for _, cell := range m.Cells {
 		if len(cell.Points) != 1 {
-			t.Fatalf("cell %s/%s has %d points", cell.Framework, cell.Pattern, len(cell.Points))
+			t.Fatalf("cell %s/%s has %d points", cell.Framework, cell.Workload, len(cell.Points))
 		}
 		p := cell.Points[0]
 		if p.TraceEvents == 0 {
-			t.Errorf("%s on %s traced no events", cell.Framework, cell.Pattern)
+			t.Errorf("%s on %s traced no events", cell.Framework, cell.Workload)
 		}
 		if p.Runs < 1 {
-			t.Errorf("%s on %s reports %d runs", cell.Framework, cell.Pattern, p.Runs)
+			t.Errorf("%s on %s reports %d runs", cell.Framework, cell.Workload, p.Runs)
 		}
+	}
+}
+
+// TestMatrixSweepDeterministic runs the full registry x registry matrix
+// twice and requires byte-identical rendering: cells run concurrently, so
+// each must be an independently seeded simulation with no cross-cell
+// state.
+func TestMatrixSweepDeterministic(t *testing.T) {
+	o := matrixOptions()
+	run := func() string {
+		m, err := MatrixSweepOf(o, framework.All()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Format()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("matrix output not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestMatrixEmptyEnvelope pins the sentinel-leak fix: a sweep with no
+// block sizes must render a zero envelope and leave classifications
+// unmeasured, not leak the 1e9/-1e9 accumulator seeds.
+func TestMatrixEmptyEnvelope(t *testing.T) {
+	if min, max := (MatrixCell{}).ElapsedOvhRange(); min != 0 || max != 0 {
+		t.Fatalf("empty cell envelope = %v..%v, want 0..0", min, max)
+	}
+	o := matrixOptions()
+	o.BlockSizes = nil
+	m, err := MatrixSweepOf(o, framework.MustLookup("Tracefs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Format()
+	if strings.Contains(out, "100000000000") {
+		t.Fatalf("sentinel leaked into matrix rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0 - 0.0") {
+		t.Fatalf("empty cells should render a zero envelope:\n%s", out)
+	}
+	// With zero points the classification must keep its registered (paper)
+	// overhead report, not claim a fresh measurement.
+	if c := m.Classifications()[0]; c.ElapsedOverhead.Description == "measured, this repository" {
+		t.Fatalf("zero-point sweep claimed a measured overhead: %+v", c.ElapsedOverhead)
 	}
 }
 
@@ -264,7 +312,7 @@ func TestGenericSweepMatchesFigure2(t *testing.T) {
 	o := QuickOptions()
 	o.BlockSizes = o.BlockSizes[:2]
 	fig := Figure2(o)
-	sw, err := Sweep(framework.MustLookup("LANL-Trace"), workload.N1Strided, o)
+	sw, err := Sweep(framework.MustLookup("LANL-Trace"), workload.PatternWorkload(workload.N1Strided), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,13 +346,13 @@ func TestFigureCSV(t *testing.T) {
 	}
 }
 
-func TestParamsForDerivesNObj(t *testing.T) {
+func TestScaleForDerivesNObj(t *testing.T) {
 	o := DefaultOptions()
-	p := o.paramsFor(workload.N1Strided, 64<<10)
+	p := o.scaleFor(64 << 10).MPIIOParams(workload.N1Strided)
 	if p.NObj != int(o.PerRankBytes/(64<<10)) {
 		t.Fatalf("nobj = %d", p.NObj)
 	}
-	p = o.paramsFor(workload.NToN, o.PerRankBytes*2)
+	p = o.scaleFor(o.PerRankBytes * 2).MPIIOParams(workload.NToN)
 	if p.NObj != 1 {
 		t.Fatalf("nobj floor = %d", p.NObj)
 	}

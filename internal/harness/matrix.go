@@ -11,30 +11,42 @@ import (
 )
 
 // This file is the framework x workload matrix engine: MatrixSweep runs
-// every registered framework against every workload pattern through the
+// every registered framework against every registered workload through the
 // generic Sweep, then folds the measured overheads (and replay fidelity,
 // where a framework measures it) into each framework's classification.
-// There are no framework-specific branches here: adding a framework to the
-// registry adds a row to the matrix and a column to the measured Table 2.
+// There are no framework- or workload-specific branches here: registering
+// a framework adds a row, registering a workload adds a column.
 
-// MatrixPatterns returns the workload axis of the matrix: the paper's three
-// parallel I/O access patterns.
-func MatrixPatterns() []workload.Pattern {
-	return []workload.Pattern{workload.N1Strided, workload.N1NonStrided, workload.NToN}
+// MatrixWorkloads returns the default workload axis of the matrix: every
+// registered workload, in registry order.
+func MatrixWorkloads() []workload.Workload {
+	return workload.All()
 }
 
-// MatrixCell is one framework x pattern sweep.
+// matrixWorkloads is the options' workload axis: the explicit restriction
+// when set, the full registry otherwise.
+func (o Options) matrixWorkloads() []workload.Workload {
+	if len(o.Workloads) > 0 {
+		return o.Workloads
+	}
+	return MatrixWorkloads()
+}
+
+// MatrixCell is one framework x workload sweep.
 type MatrixCell struct {
 	Framework string
-	Pattern   workload.Pattern
+	Workload  string
 	Points    []BandwidthPoint
 }
 
 // ElapsedOvhRange returns the cell's elapsed-overhead envelope across block
-// sizes.
+// sizes. A cell with no points reports the zero (unmeasured) envelope.
 func (c MatrixCell) ElapsedOvhRange() (min, max float64) {
-	min, max = 1e9, -1e9
-	for _, p := range c.Points {
+	if len(c.Points) == 0 {
+		return 0, 0
+	}
+	min, max = c.Points[0].ElapsedOvhFrac, c.Points[0].ElapsedOvhFrac
+	for _, p := range c.Points[1:] {
 		if p.ElapsedOvhFrac < min {
 			min = p.ElapsedOvhFrac
 		}
@@ -45,45 +57,47 @@ func (c MatrixCell) ElapsedOvhRange() (min, max float64) {
 	return min, max
 }
 
-// MatrixResult is the full framework x pattern overhead matrix.
+// MatrixResult is the full framework x workload overhead matrix.
 type MatrixResult struct {
-	Patterns []workload.Pattern
-	// Cells is row-major: frameworks (in registry order) x Patterns.
+	// Workloads is the column axis, in sweep order.
+	Workloads []workload.Workload
+	// Cells is row-major: frameworks (in registry order) x Workloads.
 	Cells []MatrixCell
 
 	fws []framework.Framework
 }
 
-// MatrixSweep measures every registered framework on every workload pattern
-// through the generic sweep engine.
+// MatrixSweep measures every registered framework on every registered
+// workload through the generic sweep engine.
 func MatrixSweep(o Options) (MatrixResult, error) {
 	return MatrixSweepOf(o, framework.All()...)
 }
 
 // MatrixSweepOf is MatrixSweep restricted to the given frameworks (e.g. one
-// framework for `iotaxo -table card -measured`). Cells run concurrently;
-// every cell is a deterministic, independently seeded simulation.
+// framework for `iotaxo -table card -measured`); Options.Workloads
+// restricts the workload axis the same way. Cells run concurrently; every
+// cell is a deterministic, independently seeded simulation.
 func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) {
-	patterns := MatrixPatterns()
+	workloads := o.matrixWorkloads()
 	m := MatrixResult{
-		Patterns: patterns,
-		Cells:    make([]MatrixCell, len(fws)*len(patterns)),
-		fws:      fws,
+		Workloads: workloads,
+		Cells:     make([]MatrixCell, len(fws)*len(workloads)),
+		fws:       fws,
 	}
 	errs := make([]error, len(m.Cells))
 	var wg sync.WaitGroup
 	for fi, fw := range fws {
-		for pi, pattern := range patterns {
-			idx, fw, pattern := fi*len(patterns)+pi, fw, pattern
+		for wi, w := range workloads {
+			idx, fw, w := fi*len(workloads)+wi, fw, w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				fig, err := o.sweep("matrix", fmt.Sprintf("%s on %s", fw.Name(), pattern), fw, pattern)
+				fig, err := o.sweep("matrix", fmt.Sprintf("%s on %s", fw.Name(), w.Name()), fw, w)
 				if err != nil {
 					errs[idx] = err
 					return
 				}
-				m.Cells[idx] = MatrixCell{Framework: fw.Name(), Pattern: pattern, Points: fig.Points}
+				m.Cells[idx] = MatrixCell{Framework: fw.Name(), Workload: w.Name(), Points: fig.Points}
 			}()
 		}
 	}
@@ -105,18 +119,28 @@ func (m MatrixResult) FrameworkNames() []string {
 	return out
 }
 
+// WorkloadNames returns the matrix's column order.
+func (m MatrixResult) WorkloadNames() []string {
+	out := make([]string, len(m.Workloads))
+	for i, w := range m.Workloads {
+		out[i] = w.Name()
+	}
+	return out
+}
+
 // row returns framework fi's cells.
 func (m MatrixResult) row(fi int) []MatrixCell {
-	return m.Cells[fi*len(m.Patterns) : (fi+1)*len(m.Patterns)]
+	return m.Cells[fi*len(m.Workloads) : (fi+1)*len(m.Workloads)]
 }
 
 // Classifications returns each swept framework's classification with the
 // measured elapsed-overhead envelope — and replay fidelity, where the
 // framework measured it — folded in. This is the one generic path from
-// measurement to the taxonomy's quantitative axes.
+// measurement to the taxonomy's quantitative axes. A framework with no
+// measured points keeps its unmeasured (zero-envelope) overhead report.
 //
-// The envelope spans workload patterns and block sizes for each framework
-// *as registered* (its default configuration). Configuration frontiers —
+// The envelope spans workloads and block sizes for each framework *as
+// registered* (its default configuration). Configuration frontiers —
 // Tracefs's feature ladder, //TRACE's sampling levels (where zero sampling
 // drives overhead toward the paper's ~0% floor) — are the deep-dive
 // experiments' job: TracefsExperiment and ParallelTraceExperiment.
@@ -124,11 +148,14 @@ func (m MatrixResult) Classifications() []*core.Classification {
 	out := make([]*core.Classification, 0, len(m.fws))
 	for fi, fw := range m.fws {
 		c := fw.Classification()
-		min, max := 1e9, -1e9
-		bestReplay, replayed := 1e9, false
+		var min, max float64
+		bestReplay, replayed := 0.0, false
 		points := 0
 		for _, cell := range m.row(fi) {
 			for _, p := range cell.Points {
+				if points == 0 {
+					min, max = p.ElapsedOvhFrac, p.ElapsedOvhFrac
+				}
 				points++
 				if p.ElapsedOvhFrac < min {
 					min = p.ElapsedOvhFrac
@@ -137,10 +164,10 @@ func (m MatrixResult) Classifications() []*core.Classification {
 					max = p.ElapsedOvhFrac
 				}
 				if p.ReplayMeasured {
-					replayed = true
-					if p.ReplayErr < bestReplay {
+					if !replayed || p.ReplayErr < bestReplay {
 						bestReplay = p.ReplayErr
 					}
+					replayed = true
 				}
 			}
 		}
@@ -167,7 +194,7 @@ func (m MatrixResult) RenderComparison() string {
 }
 
 // Format renders the overhead matrix: one row per framework, one column per
-// pattern, each cell the elapsed-overhead range across block sizes.
+// workload, each cell the elapsed-overhead range across block sizes.
 func (m MatrixResult) Format() string {
 	var b strings.Builder
 	b.WriteString("# framework x workload elapsed-overhead matrix (min-max % across block sizes)\n")
@@ -177,9 +204,15 @@ func (m MatrixResult) Format() string {
 			nameW = n
 		}
 	}
+	colW := 18
+	for _, w := range m.Workloads {
+		if n := len(w.Name()); n > colW {
+			colW = n
+		}
+	}
 	fmt.Fprintf(&b, "%-*s", nameW, "framework")
-	for _, p := range m.Patterns {
-		fmt.Fprintf(&b, " %18s", p)
+	for _, w := range m.Workloads {
+		fmt.Fprintf(&b, " %*s", colW, w.Name())
 	}
 	fmt.Fprintf(&b, " %8s %6s\n", "events", "runs")
 	for fi, fw := range m.fws {
@@ -188,7 +221,7 @@ func (m MatrixResult) Format() string {
 		runs := 0
 		for _, cell := range m.row(fi) {
 			min, max := cell.ElapsedOvhRange()
-			fmt.Fprintf(&b, " %17s%%", fmt.Sprintf("%.1f - %.1f", min*100, max*100))
+			fmt.Fprintf(&b, " %*s%%", colW-1, fmt.Sprintf("%.1f - %.1f", min*100, max*100))
 			for _, p := range cell.Points {
 				events += p.TraceEvents
 				if p.Runs > runs {

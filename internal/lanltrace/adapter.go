@@ -34,14 +34,14 @@ type fwSession struct {
 
 // Run executes the workload under strace/ltrace wrapping, exactly as the
 // real tool does: timing job, traced application, timing job.
-func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
+func (s *fwSession) Run(spec workload.Spec) (framework.Report, error) {
 	perRank := make([]workload.RankStats, s.c.Ranks())
-	rep := s.fw.Run(s.c.World, params.CommandLine(), func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, &perRank[r.RankID()])
+	rep := s.fw.Run(s.c.World, spec.CommandLine, func(p *sim.Proc, r *mpi.Rank) {
+		spec.Program(p, r, &perRank[r.RankID()])
 	})
 	s.rep = rep
 	return framework.Report{
-		Result:         workload.ResultFromStats(params, rep.Elapsed, perRank),
+		Result:         spec.ResultFromStats(rep.Elapsed, perRank),
 		TracingElapsed: rep.Elapsed,
 		Runs:           1,
 		TraceEvents:    rep.TraceEvents,

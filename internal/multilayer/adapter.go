@@ -30,8 +30,8 @@ type fwSession struct {
 }
 
 // Run executes the workload with all three probe layers active.
-func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
-	res := framework.RunWorkload(s.c, params)
+func (s *fwSession) Run(spec workload.Spec) (framework.Report, error) {
+	res := framework.RunWorkload(s.c, spec)
 	rep := framework.Report{
 		Result:         res,
 		TracingElapsed: res.Elapsed,

@@ -48,12 +48,12 @@ type fwSession struct {
 // channel to receive the engine's baseline, and the deterministic
 // simulation keeps both runs identical — one extra run per cell buys a
 // self-contained Session.
-func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
+func (s *fwSession) Run(spec workload.Spec) (framework.Report, error) {
 	fresh := func() *cluster.Cluster { return cluster.New(s.c.Cfg) }
-	plain := func(p *sim.Proc, r *mpi.Rank) { workload.Program(p, r, params, nil) }
+	plain := func(p *sim.Proc, r *mpi.Rank) { spec.Program(p, r, nil) }
 	perRank := make([]workload.RankStats, s.c.Ranks())
 	withStats := func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, &perRank[r.RankID()])
+		spec.Program(p, r, &perRank[r.RankID()])
 	}
 
 	gen, baseHooks, baseElapsed, err := s.fw.generate(s.c, fresh, withStats, plain)
@@ -64,7 +64,7 @@ func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
 	s.trace = gen.Trace
 
 	rep := framework.Report{
-		Result:         workload.ResultFromStats(params, baseElapsed, perRank),
+		Result:         spec.ResultFromStats(baseElapsed, perRank),
 		TracingElapsed: gen.TracingElapsed,
 		Runs:           gen.Runs,
 		Deps:           gen.DepCount,

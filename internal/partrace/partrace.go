@@ -111,6 +111,19 @@ func isIOCall(name string) bool {
 	return false
 }
 
+// isReplayableCall reports whether the call maps to a replay op
+// (replay.OpFromRecord): the op index space findDeps and buildTrace must
+// share. MPI_File_sync is throttled and traced like any I/O call but has
+// no replay op, so it must not shift dependency indices.
+func isReplayableCall(name string) bool {
+	switch name {
+	case "MPI_File_open", "MPI_File_write_at", "MPI_File_read_at",
+		"MPI_File_write", "MPI_File_read", "MPI_File_close":
+		return true
+	}
+	return false
+}
+
 // Enter implements mpi.LibHook.
 func (h *ioHook) Enter(p *sim.Proc, name string) {
 	if h.model.EnterCost > 0 {
@@ -142,7 +155,7 @@ func (h *ioHook) Exit(p *sim.Proc, rec *trace.Record) {
 		globalEnd:   p.Now(),
 	}
 	h.all = append(h.all, ev)
-	if isIOCall(rec.Name) {
+	if isReplayableCall(rec.Name) {
 		h.events = append(h.events, ev)
 	}
 }

@@ -81,8 +81,8 @@ func (h *pathHook) Exit(p *sim.Proc, rec *trace.Record) {
 }
 
 // Run executes the workload with the path instrumentation active.
-func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
-	res := framework.RunWorkload(s.c, params)
+func (s *fwSession) Run(spec workload.Spec) (framework.Report, error) {
+	res := framework.RunWorkload(s.c, spec)
 	rep := framework.Report{
 		Result:         res,
 		TracingElapsed: res.Elapsed,

@@ -60,15 +60,15 @@ type fwSession struct {
 // trace buffer — the unmount-time flush of the real kernel module, which is
 // where buffered output (and the per-byte feature costs of checksumming,
 // compression, and encryption) get charged.
-func (s *fwSession) Run(params workload.Params) (framework.Report, error) {
+func (s *fwSession) Run(spec workload.Spec) (framework.Report, error) {
 	perRank := make([]workload.RankStats, s.c.Ranks())
 	elapsed := s.c.World.RunToCompletion(func(p *sim.Proc, r *mpi.Rank) {
-		workload.Program(p, r, params, &perRank[r.RankID()])
+		spec.Program(p, r, &perRank[r.RankID()])
 		if f, ok := s.byNode[r.Node()]; ok {
 			f.SyncTrace(p)
 		}
 	})
-	res := workload.ResultFromStats(params, elapsed, perRank)
+	res := spec.ResultFromStats(elapsed, perRank)
 	rep := framework.Report{
 		Result:         res,
 		TracingElapsed: res.Elapsed,

@@ -1,0 +1,104 @@
+package workload
+
+// The checkpoint/restart scenario: the phase-synchronized write-burst
+// structure of bulk-synchronous HPC applications. Each epoch every rank
+// dumps its state segment into a per-epoch shared checkpoint file behind a
+// barrier (the burst), and after the last epoch the job "restarts" by
+// reading the final checkpoint back in full. The pattern stresses the
+// write path in synchronized bursts (peak PFS load, then silence) and the
+// read path in one cold sweep — the shape Recorder-style studies show
+// tracers mispredict when measured only on steady-state benchmarks.
+
+import (
+	"fmt"
+
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+)
+
+// checkpointEpochs is the number of checkpoint phases; the per-rank byte
+// budget is split evenly across them.
+const checkpointEpochs = 4
+
+func init() {
+	Register(scenario{
+		name: "checkpoint-restart",
+		desc: "barrier-phased checkpoint write bursts, then a full restart read of the last checkpoint",
+		spec: checkpointSpec,
+	})
+}
+
+func checkpointSpec(sc Scale) Spec {
+	block := sc.BlockSize
+	nobj := sc.ObjectsPer(checkpointEpochs)
+	return Spec{
+		Workload: "checkpoint-restart",
+		CommandLine: fmt.Sprintf("/ckpt_restart.exe \"-epochs\" \"%d\" \"-size\" \"%d\" \"-nobj\" \"%d\"",
+			checkpointEpochs, block, nobj),
+		Program: func(p *sim.Proc, r *mpi.Rank, stats *RankStats) {
+			me := r.CommRank(p)
+			r.Init(p)
+			r.Barrier(p)
+
+			segBase := int64(me) * int64(nobj) * block
+			for e := 0; e < checkpointEpochs; e++ {
+				f, err := r.FileOpen(p, checkpointPath(e), mpi.ModeCreate|mpi.ModeWronly)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d checkpoint open: %v", me, err))
+				}
+				if stats != nil && e == 0 {
+					stats.IOStart = p.Now()
+				}
+				for i := 0; i < nobj; i++ {
+					n, err := f.WriteAt(p, segBase+int64(i)*block, block)
+					if err != nil {
+						panic(fmt.Sprintf("workload: rank %d checkpoint write: %v", me, err))
+					}
+					if stats != nil {
+						stats.Bytes += n
+					}
+				}
+				if err := f.Sync(p); err != nil {
+					panic(fmt.Sprintf("workload: rank %d checkpoint sync: %v", me, err))
+				}
+				if err := f.Close(p); err != nil {
+					panic(fmt.Sprintf("workload: rank %d checkpoint close: %v", me, err))
+				}
+				if stats != nil {
+					stats.IOEnd = p.Now()
+				}
+				// The epoch barrier: no rank resumes compute until the
+				// checkpoint is globally complete.
+				r.Barrier(p)
+			}
+
+			// Restart: every rank reads its segment of the last checkpoint,
+			// collectively re-loading the full file.
+			f, err := r.FileOpen(p, checkpointPath(checkpointEpochs-1), mpi.ModeRdonly)
+			if err != nil {
+				panic(fmt.Sprintf("workload: rank %d restart open: %v", me, err))
+			}
+			if stats != nil {
+				stats.ReadStart = p.Now()
+			}
+			for i := 0; i < nobj; i++ {
+				n, err := f.ReadAt(p, segBase+int64(i)*block, block)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d restart read: %v", me, err))
+				}
+				if stats != nil {
+					stats.BytesRead += n
+				}
+			}
+			if stats != nil {
+				stats.ReadEnd = p.Now()
+			}
+			if err := f.Close(p); err != nil {
+				panic(fmt.Sprintf("workload: rank %d restart close: %v", me, err))
+			}
+			r.Barrier(p)
+		},
+	}
+}
+
+func checkpointPath(epoch int) string { return fmt.Sprintf("/pfs/ckpt.%d", epoch) }

@@ -1,0 +1,97 @@
+package workload
+
+// The metadata storm scenario: an N-N job dominated by create/stat/unlink
+// traffic on many small files — the inverse of the bandwidth-bound
+// mpi_io_test patterns. Every rank creates a directory's worth of tiny
+// files, stats its own and a neighbor's (cross-rank metadata reads hit the
+// PFS metadata path, not the stripe servers), then unlinks everything it
+// created. Per-event tracer costs that vanish under megabyte writes
+// dominate here, which is exactly the fidelity shift the syscall
+// observability studies report for metadata-heavy workloads.
+
+import (
+	"fmt"
+
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+)
+
+// metaPayload caps the per-file write so the scenario stays
+// metadata-dominated at every block size.
+const metaPayload = 4 << 10
+
+func init() {
+	Register(scenario{
+		name: "metadata-storm",
+		desc: "N-N create/stat/unlink storm over many small files",
+		spec: metaStormSpec,
+	})
+}
+
+func metaStormSpec(sc Scale) Spec {
+	nfiles := sc.Objects()
+	payload := sc.BlockSize
+	if payload > metaPayload {
+		payload = metaPayload
+	}
+	return Spec{
+		Workload: "metadata-storm",
+		CommandLine: fmt.Sprintf("/meta_storm.exe \"-nfiles\" \"%d\" \"-size\" \"%d\"",
+			nfiles, payload),
+		Program: func(p *sim.Proc, r *mpi.Rank, stats *RankStats) {
+			ranks := r.CommSize(p)
+			me := r.CommRank(p)
+			r.Init(p)
+			r.Barrier(p)
+
+			path := func(rank, i int) string {
+				return fmt.Sprintf("/pfs/meta.%d.%d", rank, i)
+			}
+			if stats != nil {
+				stats.IOStart = p.Now()
+			}
+			// Create burst: one tiny file per object.
+			for i := 0; i < nfiles; i++ {
+				f, err := r.FileOpen(p, path(me, i), mpi.ModeCreate|mpi.ModeWronly)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d meta create: %v", me, err))
+				}
+				n, err := f.WriteAt(p, 0, payload)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d meta write: %v", me, err))
+				}
+				if stats != nil {
+					stats.Bytes += n
+				}
+				if err := f.Close(p); err != nil {
+					panic(fmt.Sprintf("workload: rank %d meta close: %v", me, err))
+				}
+			}
+			// All files exist before the cross-rank stat phase.
+			r.Barrier(p)
+
+			pc := r.Proc()
+			neighbor := (me + 1) % ranks
+			for i := 0; i < nfiles; i++ {
+				if _, err := pc.Stat(p, path(me, i)); err != nil {
+					panic(fmt.Sprintf("workload: rank %d stat own: %v", me, err))
+				}
+				if _, err := pc.Stat(p, path(neighbor, i)); err != nil {
+					panic(fmt.Sprintf("workload: rank %d stat neighbor: %v", me, err))
+				}
+			}
+			// No unlink until every rank has finished stat-ing.
+			r.Barrier(p)
+
+			for i := 0; i < nfiles; i++ {
+				if err := pc.Unlink(p, path(me, i)); err != nil {
+					panic(fmt.Sprintf("workload: rank %d unlink: %v", me, err))
+				}
+			}
+			if stats != nil {
+				stats.IOEnd = p.Now()
+			}
+			r.Barrier(p)
+		},
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+// The producer-consumer scenario: ranks pair up, the even partner writes a
+// segment of a shared file and the odd partner reads it back after an MPI
+// handshake. The file system is the coupling channel — the write/sync/
+// signal/read chain is a genuine cross-rank causal dependency, the kind
+// //TRACE's throttling discovers and the kind pure per-rank tracers cannot
+// see. Half the ranks exercise the write path, half the read path, in the
+// same run.
+
+import (
+	"fmt"
+
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+)
+
+const (
+	prodConsPath = "/pfs/prodcons.dat"
+	prodConsTag  = 77
+)
+
+func init() {
+	Register(scenario{
+		name: "producer-consumer",
+		desc: "paired ranks: producers write shared-file segments their partner rank reads back",
+		spec: prodConsSpec,
+	})
+}
+
+func prodConsSpec(sc Scale) Spec {
+	block := sc.BlockSize
+	nobj := sc.Objects()
+	return Spec{
+		Workload: "producer-consumer",
+		CommandLine: fmt.Sprintf("/prod_cons.exe \"-size\" \"%d\" \"-nobj\" \"%d\"",
+			block, nobj),
+		Program: func(p *sim.Proc, r *mpi.Rank, stats *RankStats) {
+			ranks := r.CommSize(p)
+			me := r.CommRank(p)
+			r.Init(p)
+			r.Barrier(p)
+
+			// Pair (2k, 2k+1) shares segment k. With an odd world size the
+			// last rank has no partner and plays both roles itself.
+			partner := me ^ 1
+			segBase := int64(me/2) * int64(nobj) * block
+
+			open := func(amode int) *mpi.File {
+				f, err := r.FileOpen(p, prodConsPath, amode)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d prodcons open: %v", me, err))
+				}
+				return f
+			}
+			produce := func(f *mpi.File) {
+				if stats != nil {
+					stats.IOStart = p.Now()
+				}
+				for i := 0; i < nobj; i++ {
+					n, werr := f.WriteAt(p, segBase+int64(i)*block, block)
+					if werr != nil {
+						panic(fmt.Sprintf("workload: rank %d produce: %v", me, werr))
+					}
+					if stats != nil {
+						stats.Bytes += n
+					}
+				}
+				if stats != nil {
+					stats.IOEnd = p.Now()
+				}
+				// The segment must be durable — size pushed to the metadata
+				// server — before the consumer is signalled.
+				if serr := f.Sync(p); serr != nil {
+					panic(fmt.Sprintf("workload: rank %d produce sync: %v", me, serr))
+				}
+			}
+			consume := func(f *mpi.File) {
+				if stats != nil {
+					stats.ReadStart = p.Now()
+				}
+				for i := 0; i < nobj; i++ {
+					n, rerr := f.ReadAt(p, segBase+int64(i)*block, block)
+					if rerr != nil {
+						panic(fmt.Sprintf("workload: rank %d consume: %v", me, rerr))
+					}
+					if stats != nil {
+						stats.BytesRead += n
+					}
+				}
+				if stats != nil {
+					stats.ReadEnd = p.Now()
+				}
+			}
+			closeFile := func(f *mpi.File) {
+				if err := f.Close(p); err != nil {
+					panic(fmt.Sprintf("workload: rank %d prodcons close: %v", me, err))
+				}
+			}
+
+			switch {
+			case partner >= ranks:
+				// Unpaired trailing rank: produce, then read back its own
+				// segment through the same handle.
+				f := open(mpi.ModeCreate | mpi.ModeRdwr)
+				produce(f)
+				consume(f)
+				closeFile(f)
+			case me%2 == 0:
+				f := open(mpi.ModeCreate | mpi.ModeWronly)
+				produce(f)
+				closeFile(f)
+				// The handshake: the segment is durable, go read it.
+				r.Send(p, partner, prodConsTag, 8)
+			default:
+				// Consumers do not write; pin the write window to the wait
+				// start so the aggregate I/O phase spans real activity.
+				if stats != nil {
+					stats.IOStart = p.Now()
+					stats.IOEnd = stats.IOStart
+				}
+				r.Recv(p, partner, prodConsTag)
+				// Open after the handshake: the fresh handle sees the
+				// producer's pushed size (both pair members share segment
+				// index me/2).
+				f := open(mpi.ModeRdonly)
+				consume(f)
+				closeFile(f)
+			}
+			r.Barrier(p)
+		},
+	}
+}

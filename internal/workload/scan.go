@@ -1,0 +1,95 @@
+package workload
+
+// The analytics scan scenario: a read-mostly strided sweep over a shared
+// dataset, the access shape of post-hoc analysis jobs (and of the paper's
+// own trace-analysis tooling). A short contiguous populate phase lays the
+// dataset down; the measured phase is the scan, where each rank reads every
+// ranks-th object across the whole file — crossing segment (and therefore
+// stripe-server) boundaries on nearly every call. Read-path interposition
+// costs, invisible to the write-only figures, surface here.
+
+import (
+	"fmt"
+
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+)
+
+const scanPath = "/pfs/analytics.dat"
+
+func init() {
+	Register(scenario{
+		name: "analytics-scan",
+		desc: "read-mostly strided scan over a pre-populated shared file",
+		spec: scanSpec,
+	})
+}
+
+func scanSpec(sc Scale) Spec {
+	block := sc.BlockSize
+	nobj := sc.Objects()
+	return Spec{
+		Workload: "analytics-scan",
+		CommandLine: fmt.Sprintf("/analytics_scan.exe \"-size\" \"%d\" \"-nobj\" \"%d\"",
+			block, nobj),
+		Program: func(p *sim.Proc, r *mpi.Rank, stats *RankStats) {
+			ranks := r.CommSize(p)
+			me := r.CommRank(p)
+			r.Init(p)
+			r.Barrier(p)
+
+			// Populate: contiguous per-rank segments, the cheap setup pass.
+			// It is deliberately left out of the rank's I/O window — the
+			// scenario's measured phase is the scan.
+			f, err := r.FileOpen(p, scanPath, mpi.ModeCreate|mpi.ModeWronly)
+			if err != nil {
+				panic(fmt.Sprintf("workload: rank %d scan open: %v", me, err))
+			}
+			segBase := int64(me) * int64(nobj) * block
+			for i := 0; i < nobj; i++ {
+				if _, err := f.WriteAt(p, segBase+int64(i)*block, block); err != nil {
+					panic(fmt.Sprintf("workload: rank %d scan populate: %v", me, err))
+				}
+			}
+			// Close pushes the size to the metadata server; the barrier
+			// makes every segment durable before anyone scans.
+			if err := f.Close(p); err != nil {
+				panic(fmt.Sprintf("workload: rank %d scan populate close: %v", me, err))
+			}
+			r.Barrier(p)
+
+			// Re-open read-only: the fresh handle sees the full dataset,
+			// the way an analysis job opens a pre-populated file.
+			f, err = r.FileOpen(p, scanPath, mpi.ModeRdonly)
+			if err != nil {
+				panic(fmt.Sprintf("workload: rank %d scan reopen: %v", me, err))
+			}
+
+			// Scan: rank r reads global objects r, r+ranks, r+2*ranks, ...
+			// striding across every rank's segment.
+			if stats != nil {
+				stats.IOStart = p.Now()
+				stats.ReadStart = stats.IOStart
+			}
+			total := ranks * nobj
+			for g := me; g < total; g += ranks {
+				n, err := f.ReadAt(p, int64(g)*block, block)
+				if err != nil {
+					panic(fmt.Sprintf("workload: rank %d scan read: %v", me, err))
+				}
+				if stats != nil {
+					stats.Bytes += n
+					stats.BytesRead += n
+				}
+			}
+			if stats != nil {
+				stats.IOEnd = p.Now()
+				stats.ReadEnd = stats.IOEnd
+			}
+			if err := f.Close(p); err != nil {
+				panic(fmt.Sprintf("workload: rank %d scan close: %v", me, err))
+			}
+			r.Barrier(p)
+		},
+	}
+}

@@ -120,6 +120,9 @@ type RankStats struct {
 
 // Result summarizes a run.
 type Result struct {
+	// Workload is the registered scenario name for Spec-driven runs
+	// (empty for direct Params runs).
+	Workload    string
 	Params      Params
 	Ranks       int
 	Elapsed     sim.Duration // job wall-clock (launch to last rank exit)
@@ -168,6 +171,7 @@ func ResultFromStats(params Params, elapsed sim.Duration, perRank []RankStats) R
 	}
 	var first, last sim.Time
 	var rFirst, rLast sim.Time
+	seenRead := false
 	for i, st := range perRank {
 		res.Bytes += st.Bytes
 		res.BytesRead += st.BytesRead
@@ -177,11 +181,17 @@ func ResultFromStats(params Params, elapsed sim.Duration, perRank []RankStats) R
 		if st.IOEnd > last {
 			last = st.IOEnd
 		}
-		if i == 0 || st.ReadStart < rFirst {
-			rFirst = st.ReadStart
-		}
-		if st.ReadEnd > rLast {
-			rLast = st.ReadEnd
+		// Only ranks that ran a read phase contribute to the read window:
+		// in mixed-role scenarios (producer-consumer) the writers' zero
+		// ReadStart must not stretch the window back to launch.
+		if st.ReadEnd > 0 {
+			if !seenRead || st.ReadStart < rFirst {
+				rFirst = st.ReadStart
+			}
+			if st.ReadEnd > rLast {
+				rLast = st.ReadEnd
+			}
+			seenRead = true
 		}
 	}
 	res.IOElapsed = last - first
