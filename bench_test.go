@@ -18,6 +18,7 @@ import (
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/core"
 	"iotaxo/internal/disk"
+	"iotaxo/internal/framework"
 	"iotaxo/internal/harness"
 	"iotaxo/internal/interpose"
 	"iotaxo/internal/lanltrace"
@@ -209,6 +210,71 @@ func BenchmarkMatrixSweep(b *testing.B) {
 			b.ReportMetric(float64(cells/len(o.Workloads)), "frameworks")
 		})
 	}
+}
+
+// --- SCALING: overhead vs rank count ---
+
+// BenchmarkScaleSweep measures the rank-scaling engine on a small ladder:
+// the engine behind `tracebench -exp scaling` and `iotaxo -exp scaling`.
+// The key metric is the top rung's elapsed overhead; wall time per op
+// tracks whether the hot-path trims keep high-rank rungs CI-affordable.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, mode := range []harness.ScaleMode{harness.WeakScaling, harness.StrongScaling} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			o := harness.ScaleSmokeOptions()
+			o.ScaleMode = mode
+			var topOvh float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.ScaleSweep(
+					workloadFramework(), workload.PatternWorkload(workload.N1Strided), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				top := res.Points[len(res.Points)-1]
+				if top.Ranks != 16 {
+					b.Fatalf("top rung = %d ranks", top.Ranks)
+				}
+				topOvh = top.ElapsedOvhFrac
+			}
+			b.ReportMetric(topOvh*100, "ovh16ranks_%")
+		})
+	}
+}
+
+// workloadFramework returns the tracer the scaling benchmarks sweep:
+// LANL-Trace, the paper's headline (and costliest single-run) framework.
+func workloadFramework() framework.Framework {
+	return framework.MustLookup("LANL-Trace")
+}
+
+// BenchmarkSim1024Ranks drives one untraced 1024-rank job (one 64 KB object
+// per rank) end to end — cluster construction included. It is the
+// proving-ground benchmark for the per-event hot paths: rank counts past
+// the scaling ladder's top rung must stay affordable for CI.
+func BenchmarkSim1024Ranks(b *testing.B) {
+	const ranks = 1024
+	cfg := cluster.Default()
+	cfg.ComputeNodes = ranks
+	params := workload.Params{
+		Pattern: workload.NToN, BlockSize: 64 << 10, NObj: 1,
+		Path: "/pfs/scale1024",
+	}
+	var events float64
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(cfg)
+		res := workload.Run(c.World, params)
+		if res.Ranks != ranks || res.Bytes != int64(ranks)*params.BlockSize {
+			b.Fatalf("ranks=%d bytes=%d", res.Ranks, res.Bytes)
+		}
+		var n int64
+		for _, k := range c.Kernels {
+			n += k.SyscallCount
+		}
+		events = float64(n)
+	}
+	b.ReportMetric(events, "syscalls")
+	b.ReportMetric(events/float64(ranks), "syscalls/rank")
 }
 
 // --- Ablations ---

@@ -20,6 +20,8 @@
 //	iotaxo -table summary -measured
 //	iotaxo -table matrix
 //	iotaxo -table matrix -workload checkpoint-restart
+//	iotaxo -exp scaling
+//	iotaxo -exp scaling -scale-mode strong -max-ranks 64 -workload all
 package main
 
 import (
@@ -38,10 +40,13 @@ func main() {
 	table := flag.String("table", "summary", "which table: template | summary | extended | card | matrix")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	fwName := flag.String("framework", "LANL-Trace", "framework name for -table card (see -list)")
-	wlName := flag.String("workload", "", "restrict measurement to one workload (see -list-workloads); empty = all")
+	wlName := flag.String("workload", "", "restrict measurement to one workload (see -list-workloads); empty or all = every workload")
 	measured := flag.Bool("measured", false, "re-measure overheads on the simulated cluster (slow)")
 	list := flag.Bool("list", false, "list registered frameworks and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
+	exp := flag.String("exp", "", "run an experiment instead of printing a table: scaling")
+	scaleMode := flag.String("scale-mode", "weak", "scaling mode for -exp scaling: weak | strong")
+	maxRanks := flag.Int("max-ranks", harness.DefaultMaxRanks, "top rung of the -exp scaling rank ladder")
 	flag.Parse()
 
 	if *list {
@@ -52,6 +57,14 @@ func main() {
 		fmt.Print(listWorkloadsOutput())
 		return
 	}
+	if *exp != "" {
+		if *exp != "scaling" {
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown experiment %q (have scaling)\n", *exp)
+			os.Exit(2)
+		}
+		runScaling(*scaleMode, *maxRanks, *wlName)
+		return
+	}
 
 	// -measured keeps the QuickOptions block-size sweep (a real min-max
 	// envelope per cell); -table matrix runs the cheaper single-point smoke
@@ -60,10 +73,10 @@ func main() {
 	if *table == "matrix" {
 		o = harness.MatrixSmokeOptions()
 	}
-	if *wlName != "" {
+	if *wlName != "" && *wlName != "all" {
 		w, ok := workload.ByName(*wlName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "iotaxo: unknown workload %q (have %s)\n",
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown workload %q (have all, %s)\n",
 				*wlName, strings.Join(workload.Names(), ", "))
 			os.Exit(2)
 		}
@@ -128,6 +141,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iotaxo: unknown table %q\n", *table)
 		os.Exit(2)
 	}
+}
+
+// runScaling measures overhead vs rank count for every registered
+// framework: the -exp scaling experiment. Flag resolution (mode, rank
+// ladder, workload axis) is shared with tracebench via
+// harness.ResolveScaleOptions.
+func runScaling(mode string, maxRanks int, wlName string) {
+	o, err := harness.ResolveScaleOptions(harness.ScaleOptions(), mode, maxRanks, wlName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println("# measuring overhead vs ranks on the simulated cluster...")
+	res, err := harness.ScaleMatrixSweep(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
 }
 
 // listOutput renders the framework registry: every framework that can be

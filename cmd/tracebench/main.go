@@ -8,11 +8,15 @@
 //	tracebench -exp fig2 -csv   # CSV series for plotting
 //	tracebench -full            # paper-scale data volumes (slow)
 //
-// Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace matrix
-// table1 table2 all. The matrix and table2 experiments sweep every
-// registered framework (see internal/framework) against every registered
-// workload scenario (see internal/workload); use -quick to keep them
-// CI-friendly, or -workload to restrict the workload axis.
+// Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace
+// collective matrix scaling table1 table2 all. The matrix and table2
+// experiments sweep every registered framework (see internal/framework)
+// against every registered workload scenario (see internal/workload); use
+// -quick to keep them CI-friendly, or -workload to restrict the workload
+// axis. The scaling experiment holds block size fixed and sweeps rank
+// counts (-max-ranks, -scale-mode weak|strong) for every registered
+// framework; it defaults to the N-1 strided workload, -workload all sweeps
+// the whole registry.
 package main
 
 import (
@@ -28,14 +32,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, matrix, table1, table2, all)")
-	csv := flag.Bool("csv", false, "emit CSV instead of text tables (figures only)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, matrix, scaling, table1, table2, all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of text tables (figures and scaling)")
 	full := flag.Bool("full", false, "paper-scale data volumes (very slow)")
 	quick := flag.Bool("quick", false, "tiny volumes (CI-friendly)")
 	ranks := flag.Int("ranks", 0, "override rank count")
 	mode := flag.String("mode", "ltrace", "LANL-Trace mode for overhead runs: strace | ltrace")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	wlName := flag.String("workload", "", "restrict matrix/table2 to one registered workload (default: all)")
+	wlName := flag.String("workload", "", "restrict matrix/table2/scaling to one registered workload (default: all; scaling: N-1 strided, 'all' for the registry)")
+	scaleMode := flag.String("scale-mode", "weak", "scaling mode for -exp scaling: weak | strong")
+	maxRanks := flag.Int("max-ranks", 0, "top rung of the -exp scaling rank ladder (default 512, 16 with -quick)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -52,14 +58,41 @@ func main() {
 		o.Mode = lanltrace.ModeStrace
 	}
 	o.Seed = *seed
-	if *wlName != "" {
+	if *wlName != "" && *wlName != "all" {
 		w, ok := workload.ByName(*wlName)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tracebench: unknown workload %q (have %s)\n",
+			fmt.Fprintf(os.Stderr, "tracebench: unknown workload %q (have all, %s)\n",
 				*wlName, strings.Join(workload.Names(), ", "))
 			os.Exit(2)
 		}
 		o.Workloads = []workload.Workload{w}
+	}
+
+	// The scaling experiment has its own options: block size held fixed,
+	// rank ladder swept instead.
+	scaling := func() harness.ScaleMatrixResult {
+		base := harness.ScaleOptions()
+		if *quick {
+			base = harness.ScaleSmokeOptions()
+		}
+		if *full {
+			// Paper-scale per-rank volume; with the default 512-rank ladder
+			// this is an overnight run, like -full everywhere else. -ranks
+			// does not apply here: the rank axis is the ladder (-max-ranks).
+			base.PerRankBytes = harness.FullOptions().PerRankBytes
+		}
+		base.Seed = *seed
+		so, err := harness.ResolveScaleOptions(base, *scaleMode, *maxRanks, *wlName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := harness.ScaleMatrixSweep(so)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracebench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		return res
 	}
 
 	// matrix and table2 render the same MatrixSweep; compute it once when
@@ -107,6 +140,16 @@ func main() {
 		case "matrix":
 			fmt.Println("# Framework x workload overhead matrix (every registered framework x every registered workload)")
 			fmt.Print(matrix().Format())
+		case "scaling":
+			res := scaling()
+			if *csv {
+				for _, s := range res.Series {
+					fmt.Printf("# %s on %s (%s scaling)\n%s", s.Framework, s.Workload, s.Mode, s.CSV())
+				}
+				return
+			}
+			fmt.Println("# Overhead vs ranks (every registered framework)")
+			fmt.Print(res.Format())
 		case "table1":
 			fmt.Println("# Table 1: summary table template")
 			fmt.Print(core.Table1Template())
@@ -120,7 +163,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "matrix", "table2"} {
+		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "matrix", "scaling", "table2"} {
 			fmt.Printf("\n%s\n", strings.Repeat("=", 78))
 			run(id)
 		}

@@ -133,6 +133,9 @@ func MergeSorted(streams ...[]trace.Record) []trace.Record {
 }
 
 // IOStats aggregates data-movement statistics from a record stream.
+// ReadBytes and WriteBytes bucket directional data movement only; bytes
+// carried by direction-less records (mmap regions, syncs) count toward
+// Bytes but neither directional bucket.
 type IOStats struct {
 	Calls        int64
 	Bytes        int64
@@ -155,9 +158,10 @@ func (s *IOStats) Add(r *trace.Record) {
 	s.Calls++
 	s.Bytes += r.Bytes
 	s.TimeInIO += r.Dur
-	if strings.Contains(r.Name, "read") || strings.Contains(r.Name, "Read") {
+	switch r.Direction() {
+	case trace.DirRead:
 		s.ReadBytes += r.Bytes
-	} else {
+	case trace.DirWrite:
 		s.WriteBytes += r.Bytes
 	}
 	if r.Path != "" {

@@ -145,6 +145,59 @@ func TestComputeIOStats(t *testing.T) {
 	}
 }
 
+// TestIOStatsNeitherReadNorWrite pins the direction-classification fix:
+// byte-carrying records that move data in no single direction (mmap
+// regions, readdir-style metadata) must not inflate WriteBytes — the old
+// "anything without read in the name is a write" rule counted them all.
+func TestIOStatsNeitherReadNorWrite(t *testing.T) {
+	recs := []trace.Record{
+		{Name: "SYS_pwrite", Bytes: 4096, Dur: sim.Microsecond},
+		{Name: "SYS_pread", Bytes: 1024, Dur: sim.Microsecond},
+		{Name: "SYS_mmap", Bytes: 65536, Dur: sim.Microsecond},
+		{Name: "SYS_readdir", Bytes: 512, Dur: sim.Microsecond},
+	}
+	st := ComputeIOStats(recs)
+	if st.WriteBytes != 4096 {
+		t.Fatalf("WriteBytes = %d, want 4096 (mmap/readdir bytes leaked in)", st.WriteBytes)
+	}
+	if st.ReadBytes != 1024 {
+		t.Fatalf("ReadBytes = %d, want 1024 (readdir misclassified as read)", st.ReadBytes)
+	}
+	// All byte-carrying records still count toward the aggregate volume.
+	if st.Bytes != 4096+1024+65536+512 {
+		t.Fatalf("Bytes = %d", st.Bytes)
+	}
+	if st.Calls != 4 {
+		t.Fatalf("Calls = %d", st.Calls)
+	}
+}
+
+func TestRecordDirection(t *testing.T) {
+	cases := []struct {
+		name string
+		want trace.IODir
+	}{
+		{"SYS_pwrite", trace.DirWrite},
+		{"SYS_write", trace.DirWrite},
+		{"MPI_File_write_at_all", trace.DirWrite},
+		{"VFS_writepage", trace.DirWrite},
+		{"SYS_pread", trace.DirRead},
+		{"MPI_File_read_at", trace.DirRead},
+		{"VFS_read", trace.DirRead},
+		{"SYS_mmap", trace.DirNone},
+		{"MPI_File_sync", trace.DirNone},
+		{"SYS_readdir", trace.DirNone},
+		{"custom_readwrite_probe", trace.DirWrite}, // heuristic: write wins
+		{"custom_read_probe", trace.DirRead},
+	}
+	for _, c := range cases {
+		r := trace.Record{Name: c.name}
+		if got := r.Direction(); got != c.want {
+			t.Errorf("Direction(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
 func TestBandwidthZeroWhenNoTime(t *testing.T) {
 	st := IOStats{}
 	if st.Bandwidth() != 0 {

@@ -87,7 +87,13 @@ func (h SizeHistogram) Format() string {
 	b.WriteString("# request size histogram\n")
 	for _, k := range keys {
 		n := h.Buckets[k]
-		bar := strings.Repeat("#", int(40*n/max))
+		// A nonzero bucket always shows at least one mark: integer division
+		// would otherwise render buckets under 1/40 of the max as empty.
+		width := int(40 * n / max)
+		if width == 0 && n > 0 {
+			width = 1
+		}
+		bar := strings.Repeat("#", width)
 		fmt.Fprintf(&b, "%10s %8d %s\n", sizeLabel(k), n, bar)
 	}
 	fmt.Fprintf(&b, "# %d requests, %d bytes total\n", h.Total, h.Bytes)

@@ -122,6 +122,27 @@ func TestInterarrivalEmpty(t *testing.T) {
 	}
 }
 
+// TestHistogramSmallBucketStillVisible pins the bar-rendering fix: a
+// nonzero bucket under 1/40 of the max count used to truncate to an empty
+// bar, making rare-but-present request sizes invisible.
+func TestHistogramSmallBucketStillVisible(t *testing.T) {
+	recs := make([]trace.Record, 0, 101)
+	for i := 0; i < 100; i++ {
+		recs = append(recs, trace.Record{Name: "SYS_pwrite", Bytes: 4096})
+	}
+	// One lone 64 KiB request: 40*1/100 truncates to 0 marks.
+	recs = append(recs, trace.Record{Name: "SYS_pwrite", Bytes: 64 << 10})
+	out := HistogramSizes(recs).Format()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "<=64KiB") && !strings.Contains(line, "#") {
+			t.Fatalf("nonzero bucket rendered without a bar:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "<=64KiB") {
+		t.Fatalf("64KiB bucket missing:\n%s", out)
+	}
+}
+
 // Property: histogram total always equals the number of I/O records.
 func TestHistogramTotalProperty(t *testing.T) {
 	f := func(sizes []uint16) bool {

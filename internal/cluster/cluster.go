@@ -88,7 +88,11 @@ func New(cfg Config) *Cluster {
 	// PFS first: server nodes register their own names.
 	c.PFS = pfs.New(net_, cfg.PFS)
 
-	var worldKernels []*vfs.Kernel
+	// Sized up front: the constructor runs once per simulation, and the
+	// scaling experiments build thousands-of-rank testbeds in a loop.
+	c.Kernels = make([]*vfs.Kernel, 0, cfg.ComputeNodes)
+	c.Locals = make([]*vfs.MemFS, 0, cfg.ComputeNodes)
+	worldKernels := make([]*vfs.Kernel, 0, cfg.ComputeNodes*cfg.RanksPerNode)
 	for i := 0; i < cfg.ComputeNodes; i++ {
 		name := NodeName(i)
 		net_.AddNode(name)

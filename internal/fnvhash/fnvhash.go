@@ -1,0 +1,34 @@
+// Package fnvhash is an inline, allocation-free FNV-1a used on the
+// simulators' per-I/O hot paths (extent digests, inode placement), where
+// hash/fnv + fmt would allocate a hasher and format buffers on every call.
+//
+// Both internal/vfs and internal/pfs compute their extent digests through
+// this one implementation, which keeps the digests bit-identical across
+// file systems — end-state comparisons between a local FS and the parallel
+// FS rely on that. Only hash *equality* is meaningful to callers.
+package fnvhash
+
+// Offset64 is the FNV-1a 64-bit offset basis.
+const Offset64 = 14695981039346656037
+
+const prime64 = 1099511628211
+
+// String folds s into an FNV-1a hash.
+func String(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Int64 folds v's little-endian bytes into an FNV-1a hash.
+func Int64(h uint64, v int64) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= prime64
+		u >>= 8
+	}
+	return h
+}

@@ -32,23 +32,30 @@ type CollectiveResult struct {
 // the crossover ROMIO's heuristics exist to navigate.
 func CollectiveAblation(o Options) CollectiveResult {
 	blocks := []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10}
-	var res CollectiveResult
-	for _, block := range blocks {
+	inds := make([]workload.Result, len(blocks))
+	colls := make([]workload.Result, len(blocks))
+	tasks := make([]func(), 0, 2*len(blocks))
+	for i, block := range blocks {
+		i := i
 		params := o.scaleFor(block).MPIIOParams(workload.N1Strided)
-		cInd := o.newCluster()
-		ind := workload.Run(cInd.World, params)
-		params.Collective = true
-		cColl := o.newCluster()
-		coll := workload.Run(cColl.World, params)
+		collParams := params
+		collParams.Collective = true
+		tasks = append(tasks,
+			func() { inds[i] = workload.Run(o.newCluster().World, params) },
+			func() { colls[i] = workload.Run(o.newCluster().World, collParams) })
+	}
+	sched.runAll(tasks)
+	res := CollectiveResult{Rows: make([]CollectiveRow, len(blocks))}
+	for i, block := range blocks {
 		row := CollectiveRow{
 			Block:           block,
-			IndependentMBps: ind.BandwidthBps() / 1e6,
-			CollectiveMBps:  coll.BandwidthBps() / 1e6,
+			IndependentMBps: inds[i].BandwidthBps() / 1e6,
+			CollectiveMBps:  colls[i].BandwidthBps() / 1e6,
 		}
-		if ind.BandwidthBps() > 0 {
-			row.SpeedupCollective = coll.BandwidthBps() / ind.BandwidthBps()
+		if inds[i].BandwidthBps() > 0 {
+			row.SpeedupCollective = colls[i].BandwidthBps() / inds[i].BandwidthBps()
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
 	}
 	return res
 }

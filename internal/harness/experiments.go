@@ -7,6 +7,7 @@ import (
 
 	"iotaxo/internal/anonymize"
 	"iotaxo/internal/cluster"
+	"iotaxo/internal/framework"
 	"iotaxo/internal/lanltrace"
 	"iotaxo/internal/mpi"
 	"iotaxo/internal/partrace"
@@ -76,35 +77,44 @@ type InTextResult struct {
 }
 
 // InTextOverheads measures the six numbers quoted in Section 4.1.2 (paper:
-// 51.3/64.7/68.6 % at 64 KB; 5.5/6.1/0.6 % at 8192 KB). The six cells run
-// concurrently; each is an independent deterministic simulation.
+// 51.3/64.7/68.6 % at 64 KB; 5.5/6.1/0.6 % at 8192 KB). Each cell's runs
+// execute as leaf tasks on the shared bounded scheduler; each is an
+// independent deterministic simulation.
 func InTextOverheads(o Options) InTextResult {
 	patterns := []workload.Pattern{workload.N1Strided, workload.N1NonStrided, workload.NToN}
 	blocks := []int64{64 << 10, 8192 << 10}
 	fw := o.lanlFramework()
-	res := InTextResult{Cells: make([]OverheadCell, len(patterns)*len(blocks))}
-	var wg sync.WaitGroup
+	n := len(patterns) * len(blocks)
+	res := InTextResult{Cells: make([]OverheadCell, n)}
+	uns := make([]workload.Result, n)
+	reps := make([]framework.Report, n)
+	tasks := make([]func(), 0, 2*n)
 	for pi, pattern := range patterns {
 		for bi, block := range blocks {
-			idx, pattern, block := pi*len(blocks)+bi, pattern, block
+			idx, block := pi*len(blocks)+bi, block
 			wl := workload.PatternWorkload(pattern)
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				un := o.runUntraced(wl, block)
-				rep, err := o.runTraced(fw, wl, block)
-				if err != nil {
-					panic(err)
-				}
-				frac := 0.0
-				if un.BandwidthBps() > 0 {
-					frac = (un.BandwidthBps() - rep.Result.BandwidthBps()) / un.BandwidthBps()
-				}
-				res.Cells[idx] = OverheadCell{Pattern: pattern, Block: block, BwOvhFrac: frac}
-			}()
+			tasks = append(tasks,
+				func() { uns[idx] = o.runUntraced(wl, block) },
+				func() {
+					rep, err := o.runTraced(fw, wl, block)
+					if err != nil {
+						panic(err)
+					}
+					reps[idx] = rep
+				})
 		}
 	}
-	wg.Wait()
+	sched.runAll(tasks)
+	for pi, pattern := range patterns {
+		for bi, block := range blocks {
+			idx := pi*len(blocks) + bi
+			frac := 0.0
+			if uns[idx].BandwidthBps() > 0 {
+				frac = (uns[idx].BandwidthBps() - reps[idx].Result.BandwidthBps()) / uns[idx].BandwidthBps()
+			}
+			res.Cells[idx] = OverheadCell{Pattern: pattern, Block: block, BwOvhFrac: frac}
+		}
+	}
 	return res
 }
 
@@ -239,17 +249,18 @@ func tracefsVariants() []struct {
 func TracefsExperiment(o Options) TracefsResult {
 	const block = 64 << 10
 	wl := workload.PatternWorkload(workload.N1Strided)
-	base := o.runUntraced(wl, block)
+	// The baseline is a leaf simulation like any other: it takes a pool slot
+	// so the scheduler's global bound holds even across concurrent callers.
+	var base workload.Result
+	sched.runAll([]func(){func() { base = o.runUntraced(wl, block) }})
 
 	variants := tracefsVariants()
 	res := TracefsResult{Rows: make([]TracefsRow, len(variants)+1)}
 	res.Rows[0] = TracefsRow{Name: "untraced (baseline)"}
-	var wg sync.WaitGroup
+	tasks := make([]func(), 0, len(variants))
 	for i, v := range variants {
 		i, v := i, v
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		tasks = append(tasks, func() {
 			rep, err := o.runTraced(tracefs.AsFramework(v.cfg), wl, block)
 			if err != nil {
 				panic(err)
@@ -260,9 +271,9 @@ func TracefsExperiment(o Options) TracefsResult {
 				OutputBytes: rep.TraceBytes,
 				Events:      rep.TraceEvents,
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	sched.runAll(tasks)
 	return res
 }
 
@@ -321,28 +332,38 @@ func ParallelTraceExperiment(o Options) PartraceResult {
 		Path:         "/pfs/app.out",
 		BarrierEvery: 2,
 	}.Spec()
-	un := spec.Run(po.newCluster().World)
+	var un workload.Result
+	sched.runAll([]func(){func() { un = spec.Run(po.newCluster().World) }})
 
-	var res PartraceResult
-	for _, sampled := range []int{0, 1, 2, po.Ranks} {
-		cfg := partrace.DefaultConfig()
-		cfg.SampledRanks = sampled
-		rep, err := partrace.AsFramework(cfg).Attach(po.newCluster()).Run(spec)
-		if err != nil {
-			panic(err)
-		}
-		ovh := 0.0
-		if un.Elapsed > 0 {
-			ovh = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
-		}
-		res.Rows = append(res.Rows, PartraceRow{
-			SampledRanks: sampled,
-			Runs:         rep.Runs,
-			OverheadFrac: ovh,
-			DepCount:     rep.Deps,
-			FidelityErr:  rep.ReplayErr,
+	levels := []int{0, 1, 2, po.Ranks}
+	res := PartraceResult{Rows: make([]PartraceRow, len(levels))}
+	tasks := make([]func(), 0, len(levels))
+	for i, sampled := range levels {
+		i, sampled := i, sampled
+		tasks = append(tasks, func() {
+			// One sampling level is one leaf task: its discovery runs and
+			// replay pass execute sequentially inside the session, so the
+			// scheduler's bound still holds per live simulation.
+			cfg := partrace.DefaultConfig()
+			cfg.SampledRanks = sampled
+			rep, err := partrace.AsFramework(cfg).Attach(po.newCluster()).Run(spec)
+			if err != nil {
+				panic(err)
+			}
+			ovh := 0.0
+			if un.Elapsed > 0 {
+				ovh = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
+			}
+			res.Rows[i] = PartraceRow{
+				SampledRanks: sampled,
+				Runs:         rep.Runs,
+				OverheadFrac: ovh,
+				DepCount:     rep.Deps,
+				FidelityErr:  rep.ReplayErr,
+			}
 		})
 	}
+	sched.runAll(tasks)
 	return res
 }
 

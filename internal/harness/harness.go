@@ -20,7 +20,6 @@ package harness
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/framework"
@@ -51,6 +50,14 @@ type Options struct {
 	// Workloads restricts the matrix's workload axis; nil means every
 	// registered workload.
 	Workloads []workload.Workload
+
+	// MaxRanks bounds the rank ladder of the scaling experiments (ScaleSweep
+	// and ScaleMatrixSweep): ranks double from 4 up to MaxRanks. Zero means
+	// DefaultMaxRanks.
+	MaxRanks int
+	// ScaleMode selects weak scaling (fixed per-rank volume) or strong
+	// scaling (fixed total volume) for the scaling experiments.
+	ScaleMode ScaleMode
 }
 
 // DefaultOptions returns the scaled-down sweep: 32 ranks, 16 MiB per rank,
@@ -150,23 +157,110 @@ type FigureResult struct {
 	Points    []BandwidthPoint
 }
 
-// runUntraced executes one untraced benchmark run.
-func (o Options) runUntraced(w workload.Workload, block int64) workload.Result {
+// runUntracedAt executes one untraced benchmark run at an explicit scale.
+func (o Options) runUntracedAt(w workload.Workload, sc workload.Scale) workload.Result {
 	c := o.newCluster()
-	return w.Run(c.World, o.scaleFor(block))
+	return w.Run(c.World, sc)
 }
 
-// runTraced executes one traced benchmark run through the generic framework
-// interface: fresh cluster, attach, run.
-func (o Options) runTraced(fw framework.Framework, w workload.Workload, block int64) (framework.Report, error) {
+// runTracedAt executes one traced benchmark run at an explicit scale
+// through the generic framework interface: fresh cluster, attach, run.
+func (o Options) runTracedAt(fw framework.Framework, w workload.Workload, sc workload.Scale) (framework.Report, error) {
 	c := o.newCluster()
-	return fw.Attach(c).Run(w.Spec(o.scaleFor(block)))
+	return fw.Attach(c).Run(w.Spec(sc))
+}
+
+// runUntraced executes one untraced benchmark run of the block-size sweep.
+func (o Options) runUntraced(w workload.Workload, block int64) workload.Result {
+	return o.runUntracedAt(w, o.scaleFor(block))
+}
+
+// runTraced executes one traced benchmark run of the block-size sweep.
+func (o Options) runTraced(fw framework.Framework, w workload.Workload, block int64) (framework.Report, error) {
+	return o.runTracedAt(fw, w, o.scaleFor(block))
+}
+
+// makePoint folds one (untraced, traced) run pair into a sweep point: the
+// one place overhead fractions are computed, shared by the block-size sweep
+// and the rank-scaling sweep.
+func makePoint(block int64, un workload.Result, rep framework.Report) BandwidthPoint {
+	tr := rep.Result
+	pt := BandwidthPoint{
+		BlockBytes:      block,
+		UntracedMBps:    un.BandwidthBps() / 1e6,
+		TracedMBps:      tr.BandwidthBps() / 1e6,
+		UntracedElapsed: un.Elapsed,
+		TracedElapsed:   rep.TracingElapsed,
+		TraceEvents:     rep.TraceEvents,
+		TraceBytes:      rep.TraceBytes,
+		Runs:            rep.Runs,
+		Deps:            rep.Deps,
+		ReplayMeasured:  rep.ReplayMeasured,
+		ReplayErr:       rep.ReplayErr,
+	}
+	if un.BandwidthBps() > 0 {
+		pt.BandwidthOvhFrac = (un.BandwidthBps() - tr.BandwidthBps()) / un.BandwidthBps()
+	}
+	if un.Elapsed > 0 {
+		pt.ElapsedOvhFrac = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
+	}
+	return pt
+}
+
+// sweepRuns collects one sweep's raw measurements, indexed by block
+// position: the staging area between the scheduler's leaf tasks and point
+// assembly.
+type sweepRuns struct {
+	uns  []workload.Result
+	reps []framework.Report
+	errs []error
+}
+
+func newSweepRuns(n int) *sweepRuns {
+	return &sweepRuns{
+		uns:  make([]workload.Result, n),
+		reps: make([]framework.Report, n),
+		errs: make([]error, n),
+	}
+}
+
+// runTasks returns the sweep's leaf simulation tasks — one untraced and one
+// traced run per block size — writing results into runs. Tasks are
+// independent, independently seeded simulations, so the scheduler may run
+// them in any order or interleaving without changing any measured value.
+func (o Options) runTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
+	tasks := make([]func(), 0, 2*len(o.BlockSizes))
+	for i, block := range o.BlockSizes {
+		i, block := i, block
+		tasks = append(tasks,
+			func() { runs.uns[i] = o.runUntraced(w, block) },
+			func() {
+				rep, err := o.runTraced(fw, w, block)
+				if err != nil {
+					runs.errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), w.Name(), block, err)
+					return
+				}
+				runs.reps[i] = rep
+			})
+	}
+	return tasks
+}
+
+// assemble folds completed runs into the figure's points.
+func (o Options) assemble(fig *FigureResult, runs *sweepRuns) error {
+	for i, block := range o.BlockSizes {
+		if err := runs.errs[i]; err != nil {
+			return err
+		}
+		fig.Points[i] = makePoint(block, runs.uns[i], runs.reps[i])
+	}
+	return nil
 }
 
 // Sweep measures one framework against one workload across the options'
 // block sizes: the generic engine behind the figures and the matrix. Each
-// (block size, traced?) run is an independent simulation environment, so
-// the sweep fans out across OS threads; results are deterministic
+// (block size, traced?) run is an independent simulation environment
+// executed on the shared bounded scheduler; results are deterministic
 // regardless of scheduling because every environment is seeded identically.
 func Sweep(fw framework.Framework, w workload.Workload, o Options) (FigureResult, error) {
 	return o.sweep("sweep", fmt.Sprintf("%s overhead, %s", fw.Name(), w.Name()), fw, w)
@@ -177,53 +271,10 @@ func (o Options) sweep(id, title string, fw framework.Framework, w workload.Work
 		ID: id, Title: title, Framework: fw.Name(), Workload: w.Name(),
 		Points: make([]BandwidthPoint, len(o.BlockSizes)),
 	}
-	errs := make([]error, len(o.BlockSizes))
-	var wg sync.WaitGroup
-	for i, block := range o.BlockSizes {
-		i, block := i, block
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var un workload.Result
-			var rep framework.Report
-			var err error
-			var inner sync.WaitGroup
-			inner.Add(2)
-			go func() { defer inner.Done(); un = o.runUntraced(w, block) }()
-			go func() { defer inner.Done(); rep, err = o.runTraced(fw, w, block) }()
-			inner.Wait()
-			if err != nil {
-				errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), w.Name(), block, err)
-				return
-			}
-			tr := rep.Result
-			pt := BandwidthPoint{
-				BlockBytes:      block,
-				UntracedMBps:    un.BandwidthBps() / 1e6,
-				TracedMBps:      tr.BandwidthBps() / 1e6,
-				UntracedElapsed: un.Elapsed,
-				TracedElapsed:   rep.TracingElapsed,
-				TraceEvents:     rep.TraceEvents,
-				TraceBytes:      rep.TraceBytes,
-				Runs:            rep.Runs,
-				Deps:            rep.Deps,
-				ReplayMeasured:  rep.ReplayMeasured,
-				ReplayErr:       rep.ReplayErr,
-			}
-			if un.BandwidthBps() > 0 {
-				pt.BandwidthOvhFrac = (un.BandwidthBps() - tr.BandwidthBps()) / un.BandwidthBps()
-			}
-			if un.Elapsed > 0 {
-				pt.ElapsedOvhFrac = float64(rep.TracingElapsed-un.Elapsed) / float64(un.Elapsed)
-			}
-			fig.Points[i] = pt
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return fig, err
-		}
+	runs := newSweepRuns(len(o.BlockSizes))
+	sched.runAll(o.runTasks(fw, w, runs))
+	if err := o.assemble(&fig, runs); err != nil {
+		return fig, err
 	}
 	return fig, nil
 }

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"iotaxo/internal/core"
 	"iotaxo/internal/framework"
@@ -75,8 +74,10 @@ func MatrixSweep(o Options) (MatrixResult, error) {
 
 // MatrixSweepOf is MatrixSweep restricted to the given frameworks (e.g. one
 // framework for `iotaxo -table card -measured`); Options.Workloads
-// restricts the workload axis the same way. Cells run concurrently; every
-// cell is a deterministic, independently seeded simulation.
+// restricts the workload axis the same way. Every cell's runs are flattened
+// into one task list for the shared bounded scheduler, so peak concurrency
+// stays at PoolSize no matter how many cells the registries imply; every
+// run is a deterministic, independently seeded simulation.
 func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) {
 	workloads := o.matrixWorkloads()
 	m := MatrixResult{
@@ -84,27 +85,24 @@ func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) 
 		Cells:     make([]MatrixCell, len(fws)*len(workloads)),
 		fws:       fws,
 	}
-	errs := make([]error, len(m.Cells))
-	var wg sync.WaitGroup
+	runs := make([]*sweepRuns, len(m.Cells))
+	tasks := make([]func(), 0, 2*len(m.Cells)*len(o.BlockSizes))
 	for fi, fw := range fws {
 		for wi, w := range workloads {
-			idx, fw, w := fi*len(workloads)+wi, fw, w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				fig, err := o.sweep("matrix", fmt.Sprintf("%s on %s", fw.Name(), w.Name()), fw, w)
-				if err != nil {
-					errs[idx] = err
-					return
-				}
-				m.Cells[idx] = MatrixCell{Framework: fw.Name(), Workload: w.Name(), Points: fig.Points}
-			}()
+			idx := fi*len(workloads) + wi
+			runs[idx] = newSweepRuns(len(o.BlockSizes))
+			tasks = append(tasks, o.runTasks(fw, w, runs[idx])...)
 		}
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return m, err
+	sched.runAll(tasks)
+	for fi, fw := range fws {
+		for wi, w := range workloads {
+			idx := fi*len(workloads) + wi
+			fig := FigureResult{Points: make([]BandwidthPoint, len(o.BlockSizes))}
+			if err := o.assemble(&fig, runs[idx]); err != nil {
+				return m, err
+			}
+			m.Cells[idx] = MatrixCell{Framework: fw.Name(), Workload: w.Name(), Points: fig.Points}
 		}
 	}
 	return m, nil

@@ -1,0 +1,318 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"iotaxo/internal/framework"
+	"iotaxo/internal/workload"
+)
+
+// This file is the scalability axis of the measurement engine. The paper's
+// evaluation fixes the job size at 32 ranks, but its taxonomy is about how
+// tracing frameworks behave as parallel jobs grow; ScaleSweep holds the
+// block size fixed and sweeps the rank count instead (4 doubling to
+// Options.MaxRanks), in weak mode (fixed per-rank volume) or strong mode
+// (fixed total volume). ScaleMatrixSweep folds the sweep into the matrix
+// path: every registered framework x every registered workload gets an
+// overhead-vs-ranks series, all through the shared bounded scheduler.
+
+// ScaleMode selects how data volume scales with the rank count.
+type ScaleMode int
+
+const (
+	// WeakScaling fixes the per-rank volume: total volume grows with the
+	// job, the checkpoint-style regime most HPC I/O scales in.
+	WeakScaling ScaleMode = iota
+	// StrongScaling fixes the total volume (the ladder's base job size
+	// Ranks x PerRankBytes), divided evenly across ranks.
+	StrongScaling
+)
+
+// String implements fmt.Stringer with the CLI tokens.
+func (m ScaleMode) String() string {
+	if m == StrongScaling {
+		return "strong"
+	}
+	return "weak"
+}
+
+// ParseScaleMode inverts String for the -scale-mode flags.
+func ParseScaleMode(s string) (ScaleMode, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "weak", "":
+		return WeakScaling, true
+	case "strong":
+		return StrongScaling, true
+	}
+	return WeakScaling, false
+}
+
+// DefaultMaxRanks is the scaling ladder's default top rung.
+const DefaultMaxRanks = 512
+
+// minScaleRanks is the ladder's base rung.
+const minScaleRanks = 4
+
+// ScaleOptions returns the default scaling-sweep configuration: 64 KB
+// blocks, 1 MiB per rank at every rung (weak) or 4 ranks x 1 MiB total
+// (strong), rank ladder 4 doubling to 512. Event counts stay proportional
+// to ranks, so the top rung is CI-affordable.
+func ScaleOptions() Options {
+	o := DefaultOptions()
+	o.Ranks = minScaleRanks
+	o.PerRankBytes = 1 << 20
+	o.BlockSizes = []int64{64 << 10}
+	o.MaxRanks = DefaultMaxRanks
+	return o
+}
+
+// ScaleSmokeOptions returns the smallest scaling ladder (4 to 16 ranks,
+// 256 KiB per rank), affordable for the full registry under the race
+// detector: CI's scaling-smoke step.
+func ScaleSmokeOptions() Options {
+	o := ScaleOptions()
+	o.PerRankBytes = 256 << 10
+	o.MaxRanks = 16
+	return o
+}
+
+// maxRanks returns the ladder's top rung, defaulted.
+func (o Options) maxRanks() int {
+	if o.MaxRanks > 0 {
+		return o.MaxRanks
+	}
+	return DefaultMaxRanks
+}
+
+// rankLadder returns the scaling sweep's x-axis: rank counts doubling from
+// 4 to MaxRanks, with MaxRanks itself always the top rung.
+func (o Options) rankLadder() []int {
+	max := o.maxRanks()
+	var ladder []int
+	for r := minScaleRanks; r < max; r *= 2 {
+		ladder = append(ladder, r)
+	}
+	if n := len(ladder); n == 0 || ladder[n-1] < max {
+		ladder = append(ladder, max)
+	}
+	return ladder
+}
+
+// scaleBlock is the fixed block size of the scaling sweep: the first
+// configured block size.
+func (o Options) scaleBlock() int64 {
+	if len(o.BlockSizes) > 0 {
+		return o.BlockSizes[0]
+	}
+	return 64 << 10
+}
+
+// scaleRung derives one rung's scale from the mode: weak keeps PerRankBytes
+// per rank; strong divides the ladder-base total (minScaleRanks x
+// PerRankBytes) across the rung's ranks, flooring at one block per rank.
+func (o Options) scaleRung(ranks int) workload.Scale {
+	block := o.scaleBlock()
+	if o.ScaleMode == StrongScaling {
+		return workload.StrongScale(block, o.PerRankBytes*int64(minScaleRanks), ranks)
+	}
+	return workload.WeakScale(block, o.PerRankBytes)
+}
+
+// ResolveScaleOptions builds the scaling-experiment configuration from CLI
+// flag values, shared by `iotaxo -exp scaling` and `tracebench -exp
+// scaling` so the two front ends cannot drift: mode must parse, maxRanks
+// overrides when positive, and the workload token selects the column axis —
+// empty means the paper's most demanding pattern (N-1 strided, keeping the
+// default run affordable), "all" the whole registry, anything else one
+// registered scenario.
+func ResolveScaleOptions(base Options, mode string, maxRanks int, workloadName string) (Options, error) {
+	sm, ok := ParseScaleMode(mode)
+	if !ok {
+		return base, fmt.Errorf("unknown scale mode %q (have weak, strong)", mode)
+	}
+	o := base
+	o.ScaleMode = sm
+	if maxRanks > 0 {
+		o.MaxRanks = maxRanks
+	}
+	switch workloadName {
+	case "":
+		o.Workloads = []workload.Workload{workload.PatternWorkload(workload.N1Strided)}
+	case "all":
+		o.Workloads = nil // full workload registry
+	default:
+		w, ok := workload.ByName(workloadName)
+		if !ok {
+			return o, fmt.Errorf("unknown workload %q (have all, %s)",
+				workloadName, strings.Join(workload.Names(), ", "))
+		}
+		o.Workloads = []workload.Workload{w}
+	}
+	return o, nil
+}
+
+// ScalePoint is one rank-count position of a scaling sweep.
+type ScalePoint struct {
+	Ranks        int
+	PerRankBytes int64 // realized per-rank volume (after the one-block floor)
+	BandwidthPoint
+}
+
+// ScaleResult is one framework x workload overhead-vs-ranks series: the
+// scalability mirror of FigureResult.
+type ScaleResult struct {
+	ID        string
+	Title     string
+	Framework string
+	Workload  string
+	Mode      ScaleMode
+	Block     int64
+	Points    []ScalePoint
+}
+
+// ScaleSweep measures one framework against one workload across the rank
+// ladder at a fixed block size. Every (rank count, traced?) run is an
+// independently seeded simulation executed on the shared bounded scheduler,
+// so output is deterministic and peak concurrency is PoolSize.
+func ScaleSweep(fw framework.Framework, w workload.Workload, o Options) (ScaleResult, error) {
+	runs := newSweepRuns(len(o.rankLadder()))
+	sched.runAll(o.scaleTasks(fw, w, runs))
+	return o.assembleScale(fw, w, runs)
+}
+
+// scaleTasks returns the scaling sweep's leaf simulation tasks, one
+// untraced and one traced run per ladder rung.
+func (o Options) scaleTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
+	ladder := o.rankLadder()
+	tasks := make([]func(), 0, 2*len(ladder))
+	for i, ranks := range ladder {
+		i := i
+		ro := o
+		ro.Ranks = ranks
+		sc := o.scaleRung(ranks)
+		tasks = append(tasks,
+			func() { runs.uns[i] = ro.runUntracedAt(w, sc) },
+			func() {
+				rep, err := ro.runTracedAt(fw, w, sc)
+				if err != nil {
+					runs.errs[i] = fmt.Errorf("harness: %s, %s, ranks %d: %w", fw.Name(), w.Name(), ranks, err)
+					return
+				}
+				runs.reps[i] = rep
+			})
+	}
+	return tasks
+}
+
+// assembleScale folds completed rung runs into the series.
+func (o Options) assembleScale(fw framework.Framework, w workload.Workload, runs *sweepRuns) (ScaleResult, error) {
+	ladder := o.rankLadder()
+	res := ScaleResult{
+		ID:        "scale",
+		Title:     fmt.Sprintf("%s overhead vs ranks, %s", fw.Name(), w.Name()),
+		Framework: fw.Name(),
+		Workload:  w.Name(),
+		Mode:      o.ScaleMode,
+		Block:     o.scaleBlock(),
+		Points:    make([]ScalePoint, len(ladder)),
+	}
+	for i, ranks := range ladder {
+		if err := runs.errs[i]; err != nil {
+			return res, err
+		}
+		sc := o.scaleRung(ranks)
+		res.Points[i] = ScalePoint{
+			Ranks:          ranks,
+			PerRankBytes:   int64(sc.Objects()) * sc.BlockSize,
+			BandwidthPoint: makePoint(sc.BlockSize, runs.uns[i], runs.reps[i]),
+		}
+	}
+	return res, nil
+}
+
+// Format renders the series as an aligned text table, mirroring
+// FigureResult.Format with ranks on the x-axis.
+func (r ScaleResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s (%s scaling, block %d KB)\n", r.ID, r.Title, r.Mode, r.Block>>10)
+	fmt.Fprintf(&b, "%8s %12s %14s %14s %12s %12s\n",
+		"ranks", "per-rank(KB)", "untraced MB/s", "traced MB/s", "bw ovh %", "elapsed ovh %")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %12d %14.1f %14.1f %12.1f %12.1f\n",
+			p.Ranks, p.PerRankBytes>>10, p.UntracedMBps, p.TracedMBps,
+			p.BandwidthOvhFrac*100, p.ElapsedOvhFrac*100)
+	}
+	return b.String()
+}
+
+// CSV renders the series for plotting, mirroring FigureResult.CSV.
+func (r ScaleResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("ranks,per_rank_kb,untraced_mbps,traced_mbps,bw_overhead_frac,elapsed_overhead_frac\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%d,%.3f,%.3f,%.4f,%.4f\n",
+			p.Ranks, p.PerRankBytes>>10, p.UntracedMBps, p.TracedMBps,
+			p.BandwidthOvhFrac, p.ElapsedOvhFrac)
+	}
+	return b.String()
+}
+
+// ScaleMatrixResult is the scalability matrix: one overhead-vs-ranks series
+// per framework x workload pair, row-major in framework order. Each series
+// carries its own framework/workload labels, so the result is just the
+// flattened series list.
+type ScaleMatrixResult struct {
+	Series []ScaleResult
+}
+
+// ScaleMatrixSweep runs the scaling sweep for every registered framework on
+// every registered workload (Options.Workloads restricts the column axis).
+func ScaleMatrixSweep(o Options) (ScaleMatrixResult, error) {
+	return ScaleMatrixSweepOf(o, framework.All()...)
+}
+
+// ScaleMatrixSweepOf is ScaleMatrixSweep restricted to the given
+// frameworks. All series' runs are flattened into one task list for the
+// shared bounded scheduler, so peak concurrency stays at PoolSize however
+// large the registries grow.
+func ScaleMatrixSweepOf(o Options, fws ...framework.Framework) (ScaleMatrixResult, error) {
+	workloads := o.matrixWorkloads()
+	m := ScaleMatrixResult{
+		Series: make([]ScaleResult, len(fws)*len(workloads)),
+	}
+	rungs := len(o.rankLadder())
+	runs := make([]*sweepRuns, len(m.Series))
+	tasks := make([]func(), 0, 2*len(m.Series)*rungs)
+	for fi, fw := range fws {
+		for wi, w := range workloads {
+			idx := fi*len(workloads) + wi
+			runs[idx] = newSweepRuns(rungs)
+			tasks = append(tasks, o.scaleTasks(fw, w, runs[idx])...)
+		}
+	}
+	sched.runAll(tasks)
+	for fi, fw := range fws {
+		for wi, w := range workloads {
+			idx := fi*len(workloads) + wi
+			series, err := o.assembleScale(fw, w, runs[idx])
+			if err != nil {
+				return m, err
+			}
+			m.Series[idx] = series
+		}
+	}
+	return m, nil
+}
+
+// Format renders every series' table, separated by blank lines, in matrix
+// (framework-major) order.
+func (m ScaleMatrixResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# framework x workload scaling matrix (%d series)\n", len(m.Series))
+	for _, s := range m.Series {
+		b.WriteByte('\n')
+		b.WriteString(s.Format())
+	}
+	return b.String()
+}

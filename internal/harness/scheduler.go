@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the bounded simulation scheduler behind every experiment
+// engine in the package. A full-registry matrix is frameworks x workloads x
+// block sizes x {untraced, traced} independent cluster simulations; before
+// the scheduler, each layer fanned out a goroutine per element, so peak
+// concurrency grew multiplicatively with the registries (~560 live cluster
+// simulations for the built-in registry) and peak memory with it. Every
+// simulation now runs as one leaf task on a shared worker pool sized
+// min(GOMAXPROCS, simPoolCap), so peak concurrency is a hardware-shaped
+// constant no matter how large the registries grow.
+//
+// Results are unaffected: every leaf task is an independently seeded
+// simulation environment, so scheduling order cannot change any measured
+// value — only how many simulations are live at once.
+
+// simPoolCap caps the worker pool: beyond this, extra concurrent cluster
+// simulations stop paying for their memory (each holds a full simulated
+// testbed plus its trace buffers).
+const simPoolCap = 16
+
+// PoolSize reports the scheduler's concurrency bound:
+// min(GOMAXPROCS, simPoolCap), floored at 1.
+func PoolSize() int { return sched.size() }
+
+// sched is the package-wide scheduler shared by Sweep, MatrixSweepOf,
+// ScaleSweep, and the deep-dive experiments: concurrent engines draw from
+// one slot pool, so the bound holds globally, not per call.
+var sched = newScheduler(defaultPoolSize())
+
+func defaultPoolSize() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > simPoolCap {
+		n = simPoolCap
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scheduler is a counting-semaphore worker pool with peak-concurrency
+// instrumentation (the scheduler-bound regression test reads the peak).
+type scheduler struct {
+	slots  chan struct{}
+	active atomic.Int64
+	peak   atomic.Int64
+}
+
+func newScheduler(size int) *scheduler {
+	if size < 1 {
+		size = 1
+	}
+	return &scheduler{slots: make(chan struct{}, size)}
+}
+
+// size returns the concurrency bound.
+func (s *scheduler) size() int { return cap(s.slots) }
+
+// resetPeak clears the peak-concurrency watermark (test hook).
+func (s *scheduler) resetPeak() { s.peak.Store(0) }
+
+// peakConcurrency reports the highest number of simultaneously running
+// tasks observed since the last resetPeak.
+func (s *scheduler) peakConcurrency() int { return int(s.peak.Load()) }
+
+// runAll executes every task and returns when all have finished. At most
+// size() tasks run at once, enforced by the shared slot pool even across
+// concurrent runAll calls. Tasks must be leaf work (they must not call
+// runAll themselves): a task that waited on nested tasks while holding a
+// slot could starve the pool.
+func (s *scheduler) runAll(tasks []func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	workers := s.size()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				s.slots <- struct{}{}
+				a := s.active.Add(1)
+				for {
+					p := s.peak.Load()
+					if a <= p || s.peak.CompareAndSwap(p, a) {
+						break
+					}
+				}
+				tasks[i]()
+				s.active.Add(-1)
+				<-s.slots
+			}
+		}()
+	}
+	wg.Wait()
+}

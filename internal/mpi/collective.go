@@ -52,7 +52,9 @@ func (f *File) WriteAtAll(p *sim.Proc, offset, length int64) (int64, error) {
 	var n int64
 	var err error
 	f.rank.libcallEnrich(p, "MPI_File_write_at_all",
-		[]string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			pieces := []collPiece{}
 			if length > 0 {
@@ -78,7 +80,9 @@ func (f *File) WriteStridedAll(p *sim.Proc, offsets []int64, blockLen int64) (in
 	var err error
 	total := int64(len(offsets)) * blockLen
 	f.rank.libcallEnrich(p, "MPI_File_write_at_all",
-		[]string{strconv.Itoa(f.fd), fmt.Sprintf("nblocks=%d", len(offsets)), strconv.FormatInt(blockLen, 10)},
+		func() []string {
+			return []string{strconv.Itoa(f.fd), fmt.Sprintf("nblocks=%d", len(offsets)), strconv.FormatInt(blockLen, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			pieces := make([]collPiece, 0, len(offsets))
 			for _, off := range offsets {

@@ -33,7 +33,7 @@ func (r *Rank) FileOpen(p *sim.Proc, path string, amode int) (*File, error) {
 	var f *File
 	var err error
 	r.libcall(p, "MPI_File_open",
-		[]string{"92", strconv.Quote(path), strconv.Itoa(amode)},
+		func() []string { return []string{"92", strconv.Quote(path), strconv.Itoa(amode)} },
 		func() string {
 			flags := vfs.ORdonly
 			switch {
@@ -66,7 +66,9 @@ func (f *File) WriteAt(p *sim.Proc, offset, length int64) (int64, error) {
 	var n int64
 	var err error
 	f.rank.libcallEnrich(p, "MPI_File_write_at",
-		[]string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			n, err = f.rank.pc.PWrite(p, f.fd, offset, length)
 			if err != nil {
@@ -82,7 +84,9 @@ func (f *File) ReadAt(p *sim.Proc, offset, length int64) (int64, error) {
 	var n int64
 	var err error
 	f.rank.libcallEnrich(p, "MPI_File_read_at",
-		[]string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(f.fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			n, err = f.rank.pc.PRead(p, f.fd, offset, length)
 			if err != nil {
@@ -97,7 +101,7 @@ func (f *File) ReadAt(p *sim.Proc, offset, length int64) (int64, error) {
 func (f *File) Sync(p *sim.Proc) error {
 	var err error
 	f.rank.libcallEnrich(p, "MPI_File_sync",
-		[]string{strconv.Itoa(f.fd)},
+		func() []string { return []string{strconv.Itoa(f.fd)} },
 		func() (string, func(*trace.Record)) {
 			err = f.rank.pc.Fsync(p, f.fd)
 			if err != nil {
@@ -112,7 +116,7 @@ func (f *File) Sync(p *sim.Proc) error {
 func (f *File) Close(p *sim.Proc) error {
 	var err error
 	f.rank.libcallEnrich(p, "MPI_File_close",
-		[]string{strconv.Itoa(f.fd)},
+		func() []string { return []string{strconv.Itoa(f.fd)} },
 		func() (string, func(*trace.Record)) {
 			err = f.rank.pc.Close(p, f.fd)
 			f.open = false

@@ -44,8 +44,10 @@ func (r *Rank) AttachLibHook(h LibHook) { r.libHooks = append(r.libHooks, h) }
 func (r *Rank) DetachLibHooks() { r.libHooks = nil }
 
 // libcall wraps an MPI library call with hook entry/exit and a trace record,
-// mirroring ProcCtx.syscall at the library boundary.
-func (r *Rank) libcall(p *sim.Proc, name string, args []string, body func() string) {
+// mirroring ProcCtx.syscall at the library boundary. args renders the
+// formatted argument list and is only invoked when a library hook is
+// attached, so untraced runs pay no per-call formatting cost.
+func (r *Rank) libcall(p *sim.Proc, name string, args func() []string, body func() string) {
 	r.libcallEnrich(p, name, args, func() (string, func(*trace.Record)) {
 		return body(), nil
 	})
@@ -53,7 +55,7 @@ func (r *Rank) libcall(p *sim.Proc, name string, args []string, body func() stri
 
 // libcallEnrich is libcall with a record-enrichment callback, used by MPI-IO
 // calls to attach the file path behind the descriptor.
-func (r *Rank) libcallEnrich(p *sim.Proc, name string, args []string, body func() (string, func(*trace.Record))) {
+func (r *Rank) libcallEnrich(p *sim.Proc, name string, args func() []string, body func() (string, func(*trace.Record))) {
 	for _, h := range r.libHooks {
 		h.Enter(p, name)
 	}
@@ -70,7 +72,7 @@ func (r *Rank) libcallEnrich(p *sim.Proc, name string, args []string, body func(
 			PID:   r.pc.PID(),
 			Class: trace.ClassMPI,
 			Name:  name,
-			Args:  args,
+			Args:  args(),
 			Ret:   ret,
 		}
 		trace.InferIOFields(&rec)
@@ -87,7 +89,7 @@ func (r *Rank) libcallEnrich(p *sim.Proc, name string, args []string, body func(
 // the kernel, which is where Figure 1's SYS_open("/etc/hosts", ...) lines
 // come from.
 func (r *Rank) Init(p *sim.Proc) {
-	r.libcall(p, "MPI_Init", []string{"0", "0"}, func() string {
+	r.libcall(p, "MPI_Init", func() []string { return []string{"0", "0"} }, func() string {
 		fd, err := r.pc.Open(p, "/etc/hosts", vfs.ORdonly, 0)
 		if err == nil {
 			r.pc.Fcntl(p, fd, 1, 0)
@@ -101,7 +103,7 @@ func (r *Rank) Init(p *sim.Proc) {
 
 // CommRank returns the rank id (traced as MPI_Comm_rank).
 func (r *Rank) CommRank(p *sim.Proc) int {
-	r.libcall(p, "MPI_Comm_rank", []string{"92"}, func() string {
+	r.libcall(p, "MPI_Comm_rank", func() []string { return []string{"92"} }, func() string {
 		p.Sleep(100 * sim.Nanosecond)
 		return "0"
 	})
@@ -110,7 +112,7 @@ func (r *Rank) CommRank(p *sim.Proc) int {
 
 // CommSize returns the world size (traced as MPI_Comm_size).
 func (r *Rank) CommSize(p *sim.Proc) int {
-	r.libcall(p, "MPI_Comm_size", []string{"92"}, func() string {
+	r.libcall(p, "MPI_Comm_size", func() []string { return []string{"92"} }, func() string {
 		p.Sleep(100 * sim.Nanosecond)
 		return "0"
 	})
@@ -168,7 +170,7 @@ func (r *Rank) Send(p *sim.Proc, dest, tag int, bytes int64) {
 // propagation metadata through it.
 func (r *Rank) SendData(p *sim.Proc, dest, tag int, bytes int64, data any) {
 	r.libcall(p, "MPI_Send",
-		[]string{strconv.FormatInt(bytes, 10), strconv.Itoa(dest), strconv.Itoa(tag)},
+		func() []string { return []string{strconv.FormatInt(bytes, 10), strconv.Itoa(dest), strconv.Itoa(tag)} },
 		func() string {
 			r.sendRaw(p, dest, tag, bytes, data)
 			return "0"
@@ -186,7 +188,7 @@ func (r *Rank) RecvData(p *sim.Proc, src, tag int) (int64, any) {
 	var n int64
 	var data any
 	r.libcall(p, "MPI_Recv",
-		[]string{strconv.Itoa(src), strconv.Itoa(tag)},
+		func() []string { return []string{strconv.Itoa(src), strconv.Itoa(tag)} },
 		func() string {
 			m := r.recvRaw(p, src, tag)
 			n = m.Bytes
@@ -199,7 +201,7 @@ func (r *Rank) RecvData(p *sim.Proc, src, tag int) (int64, any) {
 // Barrier synchronizes all ranks with a dissemination barrier: ceil(log2 N)
 // rounds of pairwise messages (traced as MPI_Barrier).
 func (r *Rank) Barrier(p *sim.Proc) {
-	r.libcall(p, "MPI_Barrier", []string{"92"}, func() string {
+	r.libcall(p, "MPI_Barrier", func() []string { return []string{"92"} }, func() string {
 		r.barrierBody(p)
 		return "0"
 	})
@@ -226,7 +228,7 @@ func (r *Rank) barrierBody(p *sim.Proc) {
 func (r *Rank) Bcast(p *sim.Proc, root int, bytes int64, data any) any {
 	var out any = data
 	r.libcall(p, "MPI_Bcast",
-		[]string{strconv.FormatInt(bytes, 10), strconv.Itoa(root)},
+		func() []string { return []string{strconv.FormatInt(bytes, 10), strconv.Itoa(root)} },
 		func() string {
 			out = r.bcastBody(p, root, bytes, data)
 			return "0"
@@ -269,7 +271,7 @@ func (r *Rank) bcastBody(p *sim.Proc, root int, bytes int64, data any) any {
 func (r *Rank) Gather(p *sim.Proc, root int, bytes int64, contribution any) []any {
 	var out []any
 	r.libcall(p, "MPI_Gather",
-		[]string{strconv.FormatInt(bytes, 10), strconv.Itoa(root)},
+		func() []string { return []string{strconv.FormatInt(bytes, 10), strconv.Itoa(root)} },
 		func() string {
 			n := len(r.world.ranks)
 			const tag = -888
@@ -295,7 +297,7 @@ func (r *Rank) Gather(p *sim.Proc, root int, bytes int64, contribution any) []an
 // MPI_Allreduce): gather to rank 0, then broadcast.
 func (r *Rank) AllreduceMax(p *sim.Proc, v int64) int64 {
 	var result int64
-	r.libcall(p, "MPI_Allreduce", []string{strconv.FormatInt(v, 10)}, func() string {
+	r.libcall(p, "MPI_Allreduce", func() []string { return []string{strconv.FormatInt(v, 10)} }, func() string {
 		vals := r.gatherRaw(p, 0, 8, v)
 		if r.rank == 0 {
 			m := v

@@ -11,10 +11,10 @@ package pfs
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"iotaxo/internal/disk"
+	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
 )
@@ -132,11 +132,10 @@ func (s *System) MDSNode() string { return s.mdsNode }
 // Array returns object server i's RAID group (failure injection in tests).
 func (s *System) Array(i int) *disk.Array { return s.servers[i].array }
 
-// extentHash mirrors the vfs digest so end-state comparisons are uniform.
+// extentHash mirrors the vfs digest — both go through internal/fnvhash's
+// allocation-free FNV-1a — so end-state comparisons are uniform.
 func extentHash(path string, off, n int64) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s:%d:%d", path, off, n)
-	return h.Sum64()
+	return fnvhash.Int64(fnvhash.Int64(fnvhash.String(fnvhash.Offset64, path), off), n)
 }
 
 // Snapshot aggregates (size, digest, writes) for a path across all object

@@ -1,9 +1,8 @@
 package pfs
 
 import (
-	"hash/fnv"
-
 	"iotaxo/internal/disk"
+	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
 )
@@ -152,10 +151,8 @@ func (s *server) handleIO(p *sim.Proc, r ioReq) (int64, error) {
 // objectBase allocates each file its own extent on the array so distinct
 // files do not false-share physical positions (and stripe rows).
 func objectBase(path string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(path))
 	const extent = int64(1) << 36 // 64 GiB per object extent
-	return int64(h.Sum64()%1024) * extent
+	return int64(fnvhash.String(fnvhash.Offset64, path)%1024) * extent
 }
 
 // recordWrite updates digest state, decomposing the physical range into

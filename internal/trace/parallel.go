@@ -338,6 +338,10 @@ func (p *ParallelBinaryReader) fetch(r io.Reader) {
 		select {
 		case p.jobs <- job:
 		case <-p.cancel:
+			// The job is already queued for the consumer but will never
+			// reach a worker: resolve it empty here, or a post-Close drain
+			// would block forever on its ready channel.
+			close(job.ready)
 			return
 		}
 	}

@@ -200,6 +200,35 @@ func TestParallelReaderBadMagic(t *testing.T) {
 	}
 }
 
+// TestParallelReaderEarlyCloseStress pins the Close/fetch race: the fetcher
+// enqueues each job for the consumer before handing it to the pool, and a
+// Close landing between the two used to strand the job undecoded — the
+// post-Close drain then blocked forever on its ready channel. Many
+// iterations make the narrow window reliably observable.
+func TestParallelReaderEarlyCloseStress(t *testing.T) {
+	data := mkBlocks(t, 64, 8, false)
+	for i := 0; i < 200; i++ {
+		r := NewParallelBinaryReader(bytes.NewReader(data), 2)
+		for j := 0; j <= i%8; j++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
 func TestParallelReaderEarlyClose(t *testing.T) {
 	data := mkBlocks(t, 64, 32, false)
 	r := NewParallelBinaryReader(bytes.NewReader(data), 4)

@@ -96,6 +96,56 @@ type Record struct {
 // IsIO reports whether the record moved file data.
 func (r *Record) IsIO() bool { return r.Bytes > 0 }
 
+// IODir classifies a record's data-movement direction.
+type IODir uint8
+
+const (
+	// DirNone marks records that move bytes in no single direction an
+	// analysis should bucket — mmap regions, syncs, readdir-style metadata.
+	DirNone IODir = iota
+	// DirRead marks data read from a file.
+	DirRead
+	// DirWrite marks data written to a file.
+	DirWrite
+)
+
+// readOps and writeOps are the call names every emitter in this repository
+// produces for directional data movement; Direction consults them before
+// falling back to a name heuristic for out-of-tree frameworks.
+var (
+	readOps = map[string]struct{}{
+		"SYS_read": {}, "SYS_pread": {},
+		"MPI_File_read": {}, "MPI_File_read_at": {}, "MPI_File_read_at_all": {},
+		"VFS_read": {},
+	}
+	writeOps = map[string]struct{}{
+		"SYS_write": {}, "SYS_pwrite": {},
+		"MPI_File_write": {}, "MPI_File_write_at": {}, "MPI_File_write_at_all": {},
+		"VFS_write": {}, "VFS_writepage": {},
+	}
+)
+
+// Direction reports which way the record moved file data. Unknown names
+// fall back to a substring heuristic ("write" wins, then "read" — but not
+// "readdir"); byte-carrying records that are neither (SYS_mmap, syncs)
+// report DirNone, so analyses must not lump them into either bucket.
+func (r *Record) Direction() IODir {
+	if _, ok := writeOps[r.Name]; ok {
+		return DirWrite
+	}
+	if _, ok := readOps[r.Name]; ok {
+		return DirRead
+	}
+	name := strings.ToLower(r.Name)
+	if strings.Contains(name, "write") {
+		return DirWrite
+	}
+	if strings.Contains(name, "read") && !strings.Contains(name, "readdir") {
+		return DirRead
+	}
+	return DirNone
+}
+
 // Clone returns a deep copy (Args shared slices are copied).
 func (r *Record) Clone() Record {
 	out := *r

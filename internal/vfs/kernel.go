@@ -161,8 +161,12 @@ func (pc *ProcCtx) DetachHooks() { pc.hooks = nil }
 func (pc *ProcCtx) Traced() bool { return len(pc.hooks) > 0 }
 
 // syscall wraps the execution of one system call with hook entry/exit, the
-// base kernel-crossing cost, and record construction.
-func (pc *ProcCtx) syscall(p *sim.Proc, name string, args []string, body func() (ret string, rec func(*trace.Record))) string {
+// base kernel-crossing cost, and record construction. args renders the
+// call's formatted argument list; it is only invoked when a tracer is
+// attached, so untraced runs — half of every overhead sweep — pay no
+// string-formatting or slice-allocation cost per call. Laziness cannot
+// change simulated time: argument rendering charges no virtual cost.
+func (pc *ProcCtx) syscall(p *sim.Proc, name string, args func() []string, body func() (ret string, rec func(*trace.Record))) string {
 	for _, h := range pc.hooks {
 		h.Enter(p, name)
 	}
@@ -180,7 +184,7 @@ func (pc *ProcCtx) syscall(p *sim.Proc, name string, args []string, body func() 
 			PID:   pc.pid,
 			Class: trace.ClassSyscall,
 			Name:  name,
-			Args:  args,
+			Args:  args(),
 			Ret:   ret,
 			UID:   pc.cred.UID,
 			GID:   pc.cred.GID,
@@ -207,7 +211,9 @@ func (pc *ProcCtx) Open(p *sim.Proc, path string, flags OpenFlag, mode int) (int
 	var fd int
 	var err error
 	pc.syscall(p, "SYS_open",
-		[]string{strconv.Quote(path), fmt.Sprintf("%#x", int(flags)), fmt.Sprintf("%#o", mode)},
+		func() []string {
+			return []string{strconv.Quote(path), fmt.Sprintf("%#x", int(flags)), fmt.Sprintf("%#o", mode)}
+		},
 		func() (string, func(*trace.Record)) {
 			var fs Filesystem
 			fs, err = pc.kernel.Resolve(path)
@@ -243,7 +249,9 @@ func (pc *ProcCtx) PWrite(p *sim.Proc, fd int, offset, length int64) (int64, err
 	var n int64
 	var err error
 	pc.syscall(p, "SYS_pwrite",
-		[]string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -271,7 +279,7 @@ func (pc *ProcCtx) Write(p *sim.Proc, fd int, length int64) (int64, error) {
 	var n int64
 	var err error
 	pc.syscall(p, "SYS_write",
-		[]string{strconv.Itoa(fd), strconv.FormatInt(length, 10)},
+		func() []string { return []string{strconv.Itoa(fd), strconv.FormatInt(length, 10)} },
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -301,7 +309,9 @@ func (pc *ProcCtx) PRead(p *sim.Proc, fd int, offset, length int64) (int64, erro
 	var n int64
 	var err error
 	pc.syscall(p, "SYS_pread",
-		[]string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -329,7 +339,7 @@ func (pc *ProcCtx) Read(p *sim.Proc, fd int, length int64) (int64, error) {
 	var n int64
 	var err error
 	pc.syscall(p, "SYS_read",
-		[]string{strconv.Itoa(fd), strconv.FormatInt(length, 10)},
+		func() []string { return []string{strconv.Itoa(fd), strconv.FormatInt(length, 10)} },
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -357,7 +367,7 @@ func (pc *ProcCtx) Read(p *sim.Proc, fd int, length int64) (int64, error) {
 // Close closes fd.
 func (pc *ProcCtx) Close(p *sim.Proc, fd int) error {
 	var err error
-	pc.syscall(p, "SYS_close", []string{strconv.Itoa(fd)},
+	pc.syscall(p, "SYS_close", func() []string { return []string{strconv.Itoa(fd)} },
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -374,7 +384,7 @@ func (pc *ProcCtx) Close(p *sim.Proc, fd int) error {
 // Fsync flushes fd to stable storage.
 func (pc *ProcCtx) Fsync(p *sim.Proc, fd int) error {
 	var err error
-	pc.syscall(p, "SYS_fsync", []string{strconv.Itoa(fd)},
+	pc.syscall(p, "SYS_fsync", func() []string { return []string{strconv.Itoa(fd)} },
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)
@@ -391,7 +401,7 @@ func (pc *ProcCtx) Fsync(p *sim.Proc, fd int) error {
 func (pc *ProcCtx) Stat(p *sim.Proc, path string) (FileAttr, error) {
 	var attr FileAttr
 	var err error
-	pc.syscall(p, "SYS_stat", []string{strconv.Quote(path)},
+	pc.syscall(p, "SYS_stat", func() []string { return []string{strconv.Quote(path)} },
 		func() (string, func(*trace.Record)) {
 			var fs Filesystem
 			fs, err = pc.kernel.Resolve(path)
@@ -411,7 +421,7 @@ func (pc *ProcCtx) Stat(p *sim.Proc, path string) (FileAttr, error) {
 func (pc *ProcCtx) Statfs(p *sim.Proc, path string) (StatfsInfo, error) {
 	var info StatfsInfo
 	var err error
-	pc.syscall(p, "SYS_statfs64", []string{strconv.Quote(path), "84"},
+	pc.syscall(p, "SYS_statfs64", func() []string { return []string{strconv.Quote(path), "84"} },
 		func() (string, func(*trace.Record)) {
 			var fs Filesystem
 			fs, err = pc.kernel.Resolve(path)
@@ -427,7 +437,7 @@ func (pc *ProcCtx) Statfs(p *sim.Proc, path string) (StatfsInfo, error) {
 // Unlink removes a file.
 func (pc *ProcCtx) Unlink(p *sim.Proc, path string) error {
 	var err error
-	pc.syscall(p, "SYS_unlink", []string{strconv.Quote(path)},
+	pc.syscall(p, "SYS_unlink", func() []string { return []string{strconv.Quote(path)} },
 		func() (string, func(*trace.Record)) {
 			var fs Filesystem
 			fs, err = pc.kernel.Resolve(path)
@@ -445,7 +455,7 @@ func (pc *ProcCtx) Unlink(p *sim.Proc, path string) error {
 func (pc *ProcCtx) Fcntl(p *sim.Proc, fd, cmd, arg int) error {
 	var err error
 	pc.syscall(p, "SYS_fcntl64",
-		[]string{strconv.Itoa(fd), strconv.Itoa(cmd), strconv.Itoa(arg)},
+		func() []string { return []string{strconv.Itoa(fd), strconv.Itoa(cmd), strconv.Itoa(arg)} },
 		func() (string, func(*trace.Record)) {
 			_, err = pc.fd(fd)
 			return errnoString(err), nil
@@ -470,7 +480,9 @@ func (pc *ProcCtx) MMap(p *sim.Proc, fd int, offset, length int64) (*MMapRegion,
 	var region *MMapRegion
 	var err error
 	pc.syscall(p, "SYS_mmap",
-		[]string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)},
+		func() []string {
+			return []string{strconv.Itoa(fd), strconv.FormatInt(offset, 10), strconv.FormatInt(length, 10)}
+		},
 		func() (string, func(*trace.Record)) {
 			var e *fdEntry
 			e, err = pc.fd(fd)

@@ -2,10 +2,10 @@ package vfs
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"iotaxo/internal/disk"
+	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/sim"
 )
 
@@ -134,16 +134,16 @@ type memHandle struct {
 	closed bool
 }
 
+// extentHash digests one written extent; it and pathPos run on every
+// simulated I/O operation, so both go through the shared allocation-free
+// FNV-1a in internal/fnvhash — the same implementation pfs uses, keeping
+// end-state digest comparisons uniform across file systems.
 func extentHash(path string, off, n int64) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s:%d:%d", path, off, n)
-	return h.Sum64()
+	return fnvhash.Int64(fnvhash.Int64(fnvhash.String(fnvhash.Offset64, path), off), n)
 }
 
 func pathPos(path string) int64 {
-	h := fnv.New64a()
-	h.Write([]byte(path))
-	return int64(h.Sum64() % (1 << 38)) // spread inodes over the disk
+	return int64(fnvhash.String(fnvhash.Offset64, path) % (1 << 38)) // spread inodes over the disk
 }
 
 // WriteAt implements File.

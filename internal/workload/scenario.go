@@ -33,6 +33,24 @@ type Scale struct {
 	PerRankBytes int64
 }
 
+// WeakScale returns one rung of a weak-scaling ladder: the per-rank volume
+// is fixed, so the job's total volume grows linearly with the rank count.
+func WeakScale(blockSize, perRankBytes int64) Scale {
+	return Scale{BlockSize: blockSize, PerRankBytes: perRankBytes}
+}
+
+// StrongScale returns one rung of a strong-scaling ladder: the job's total
+// volume is fixed and divided evenly across ranks. Per-rank volume floors
+// at one block (every rank writes at least one object — see Objects), so
+// at extreme rank counts the realized total exceeds totalBytes; TotalBytes
+// reports the realized volume.
+func StrongScale(blockSize, totalBytes int64, ranks int) Scale {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return Scale{BlockSize: blockSize, PerRankBytes: totalBytes / int64(ranks)}
+}
+
 // Objects is the per-rank object count the scale implies (floor 1).
 func (sc Scale) Objects() int {
 	n := int(sc.PerRankBytes / sc.BlockSize)
@@ -40,6 +58,12 @@ func (sc Scale) Objects() int {
 		n = 1
 	}
 	return n
+}
+
+// TotalBytes reports the job-wide data volume the scale implies at a rank
+// count, after the one-object-per-rank floor.
+func (sc Scale) TotalBytes(ranks int) int64 {
+	return int64(ranks) * int64(sc.Objects()) * sc.BlockSize
 }
 
 // ObjectsPer splits the per-rank object budget across parts phases
