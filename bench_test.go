@@ -248,17 +248,16 @@ func workloadFramework() framework.Framework {
 	return framework.MustLookup("LANL-Trace")
 }
 
-// BenchmarkSim1024Ranks drives one untraced 1024-rank job (one 64 KB object
-// per rank) end to end — cluster construction included. It is the
+// benchSimRanks drives one untraced job (one 64 KB object per rank) end to
+// end — cluster construction included — at the given rank count. It is the
 // proving-ground benchmark for the per-event hot paths: rank counts past
-// the scaling ladder's top rung must stay affordable for CI.
-func BenchmarkSim1024Ranks(b *testing.B) {
-	const ranks = 1024
+// the scaling ladder's default top rung must stay affordable for CI.
+func benchSimRanks(b *testing.B, ranks int) {
 	cfg := cluster.Default()
 	cfg.ComputeNodes = ranks
 	params := workload.Params{
 		Pattern: workload.NToN, BlockSize: 64 << 10, NObj: 1,
-		Path: "/pfs/scale1024",
+		Path: fmt.Sprintf("/pfs/scale%d", ranks),
 	}
 	var events float64
 	for i := 0; i < b.N; i++ {
@@ -266,6 +265,9 @@ func BenchmarkSim1024Ranks(b *testing.B) {
 		res := workload.Run(c.World, params)
 		if res.Ranks != ranks || res.Bytes != int64(ranks)*params.BlockSize {
 			b.Fatalf("ranks=%d bytes=%d", res.Ranks, res.Bytes)
+		}
+		if n := c.Env.Spawned("net.courier"); n != 0 {
+			b.Fatalf("%d courier procs spawned, want 0", n)
 		}
 		var n int64
 		for _, k := range c.Kernels {
@@ -275,6 +277,34 @@ func BenchmarkSim1024Ranks(b *testing.B) {
 	}
 	b.ReportMetric(events, "syscalls")
 	b.ReportMetric(events/float64(ranks), "syscalls/rank")
+}
+
+func BenchmarkSim1024Ranks(b *testing.B) { benchSimRanks(b, 1024) }
+
+// BenchmarkSim4096Ranks is the scaling ladder's new top rung, reachable now
+// that network message delivery is a pure event chain (zero goroutines and
+// zero Proc allocations per message) instead of one courier goroutine per
+// in-flight message.
+func BenchmarkSim4096Ranks(b *testing.B) { benchSimRanks(b, 4096) }
+
+// BenchmarkServerSweep measures the storage-scaling engine on the smoke
+// ladder: the engine behind `tracebench -exp servers` and `iotaxo -exp
+// servers`. The key metric is the overhead gap between the 1-server and
+// top-rung points — the server axis exists to expose tracer cost once the
+// file system stops being the bottleneck.
+func BenchmarkServerSweep(b *testing.B) {
+	o := harness.ServerSmokeOptions()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ServerSweep(
+			workloadFramework(), workload.PatternWorkload(workload.N1Strided), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Points[0], res.Points[len(res.Points)-1]
+		gap = (last.BandwidthOvhFrac - first.BandwidthOvhFrac) * 100
+	}
+	b.ReportMetric(gap, "ovh_gap_pct")
 }
 
 // --- Ablations ---

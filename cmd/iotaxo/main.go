@@ -21,7 +21,11 @@
 //	iotaxo -table matrix
 //	iotaxo -table matrix -workload checkpoint-restart
 //	iotaxo -exp scaling
-//	iotaxo -exp scaling -scale-mode strong -max-ranks 64 -workload all
+//	iotaxo -exp scaling -scale-mode strong -max-ranks 64
+//	iotaxo -exp scaling -max-ranks 4096
+//	iotaxo -exp scaling -ranks-per-node 4
+//	iotaxo -exp servers
+//	iotaxo -exp servers -max-servers 32 -workload checkpoint-restart
 package main
 
 import (
@@ -40,13 +44,15 @@ func main() {
 	table := flag.String("table", "summary", "which table: template | summary | extended | card | matrix")
 	format := flag.String("format", "text", "output format: text | markdown | csv")
 	fwName := flag.String("framework", "LANL-Trace", "framework name for -table card (see -list)")
-	wlName := flag.String("workload", "", "restrict measurement to one workload (see -list-workloads); empty or all = every workload")
+	wlName := flag.String("workload", "", "restrict measurement to one workload (see -list-workloads); empty or all = every workload for tables, but -exp scaling/servers default to N-1 strided (all = registry)")
 	measured := flag.Bool("measured", false, "re-measure overheads on the simulated cluster (slow)")
 	list := flag.Bool("list", false, "list registered frameworks and exit")
 	listWorkloads := flag.Bool("list-workloads", false, "list registered workloads and exit")
-	exp := flag.String("exp", "", "run an experiment instead of printing a table: scaling")
+	exp := flag.String("exp", "", "run an experiment instead of printing a table: scaling | servers")
 	scaleMode := flag.String("scale-mode", "weak", "scaling mode for -exp scaling: weak | strong")
-	maxRanks := flag.Int("max-ranks", harness.DefaultMaxRanks, "top rung of the -exp scaling rank ladder")
+	maxRanks := flag.Int("max-ranks", harness.DefaultMaxRanks, "top rung of the -exp scaling rank ladder (e.g. 4096)")
+	maxServers := flag.Int("max-servers", harness.DefaultMaxServers, "top rung of the -exp servers object-server ladder")
+	ranksPerNode := flag.Int("ranks-per-node", 1, "MPI ranks placed per compute node (placement axis)")
 	flag.Parse()
 
 	if *list {
@@ -58,11 +64,15 @@ func main() {
 		return
 	}
 	if *exp != "" {
-		if *exp != "scaling" {
-			fmt.Fprintf(os.Stderr, "iotaxo: unknown experiment %q (have scaling)\n", *exp)
+		switch *exp {
+		case "scaling":
+			runScaling(*scaleMode, *maxRanks, *ranksPerNode, *wlName)
+		case "servers":
+			runServers(*maxServers, *ranksPerNode, *wlName)
+		default:
+			fmt.Fprintf(os.Stderr, "iotaxo: unknown experiment %q (have scaling, servers)\n", *exp)
 			os.Exit(2)
 		}
-		runScaling(*scaleMode, *maxRanks, *wlName)
 		return
 	}
 
@@ -145,16 +155,33 @@ func main() {
 
 // runScaling measures overhead vs rank count for every registered
 // framework: the -exp scaling experiment. Flag resolution (mode, rank
-// ladder, workload axis) is shared with tracebench via
+// ladder, placement, workload axis) is shared with tracebench via
 // harness.ResolveScaleOptions.
-func runScaling(mode string, maxRanks int, wlName string) {
-	o, err := harness.ResolveScaleOptions(harness.ScaleOptions(), mode, maxRanks, wlName)
+func runScaling(mode string, maxRanks, ranksPerNode int, wlName string) {
+	o, err := harness.ResolveScaleOptions(harness.ScaleOptions(), mode, maxRanks, ranksPerNode, wlName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 		os.Exit(2)
 	}
 	fmt.Println("# measuring overhead vs ranks on the simulated cluster...")
 	res, err := harness.ScaleMatrixSweep(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}
+
+// runServers measures overhead vs object server count for every registered
+// framework: the -exp servers experiment, the storage dual of -exp scaling.
+func runServers(maxServers, ranksPerNode int, wlName string) {
+	o, err := harness.ResolveServerOptions(harness.ServerOptions(), maxServers, 0, ranksPerNode, wlName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println("# measuring overhead vs PFS object servers on the simulated cluster...")
+	res, err := harness.ServerMatrixSweep(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 		os.Exit(1)

@@ -9,14 +9,16 @@
 //	tracebench -full            # paper-scale data volumes (slow)
 //
 // Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace
-// collective matrix scaling table1 table2 all. The matrix and table2
-// experiments sweep every registered framework (see internal/framework)
-// against every registered workload scenario (see internal/workload); use
-// -quick to keep them CI-friendly, or -workload to restrict the workload
-// axis. The scaling experiment holds block size fixed and sweeps rank
-// counts (-max-ranks, -scale-mode weak|strong) for every registered
-// framework; it defaults to the N-1 strided workload, -workload all sweeps
-// the whole registry.
+// collective matrix scaling servers table1 table2 all. The matrix and
+// table2 experiments sweep every registered framework (see
+// internal/framework) against every registered workload scenario (see
+// internal/workload); use -quick to keep them CI-friendly, or -workload to
+// restrict the workload axis. The scaling experiment holds block size fixed
+// and sweeps rank counts (-max-ranks, -scale-mode weak|strong,
+// -ranks-per-node for multi-rank placement) for every registered framework;
+// the servers experiment fixes the job and sweeps the parallel file
+// system's object server count instead (-max-servers). Both default to the
+// N-1 strided workload; -workload all sweeps the whole registry.
 package main
 
 import (
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, matrix, scaling, table1, table2, all)")
+	exp := flag.String("exp", "all", "experiment id (fig1..fig4, overheads, elapsed, tracefs, ptrace, collective, matrix, scaling, servers, table1, table2, all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of text tables (figures and scaling)")
 	full := flag.Bool("full", false, "paper-scale data volumes (very slow)")
 	quick := flag.Bool("quick", false, "tiny volumes (CI-friendly)")
@@ -41,7 +43,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	wlName := flag.String("workload", "", "restrict matrix/table2/scaling to one registered workload (default: all; scaling: N-1 strided, 'all' for the registry)")
 	scaleMode := flag.String("scale-mode", "weak", "scaling mode for -exp scaling: weak | strong")
-	maxRanks := flag.Int("max-ranks", 0, "top rung of the -exp scaling rank ladder (default 512, 16 with -quick)")
+	maxRanks := flag.Int("max-ranks", 0, "top rung of the -exp scaling rank ladder, e.g. 4096 (default 512, 16 with -quick)")
+	maxServers := flag.Int("max-servers", 0, "top rung of the -exp servers object-server ladder (default 16, 4 with -quick)")
+	ranksPerNode := flag.Int("ranks-per-node", 1, "MPI ranks placed per compute node for -exp scaling/servers (placement axis)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -82,7 +86,7 @@ func main() {
 			base.PerRankBytes = harness.FullOptions().PerRankBytes
 		}
 		base.Seed = *seed
-		so, err := harness.ResolveScaleOptions(base, *scaleMode, *maxRanks, *wlName)
+		so, err := harness.ResolveScaleOptions(base, *scaleMode, *maxRanks, *ranksPerNode, *wlName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
 			os.Exit(2)
@@ -90,6 +94,30 @@ func main() {
 		res, err := harness.ScaleMatrixSweep(so)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracebench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		return res
+	}
+
+	// The servers experiment is the storage dual: fixed job, object server
+	// count swept instead.
+	servers := func() harness.ServerMatrixResult {
+		base := harness.ServerOptions()
+		if *quick {
+			base = harness.ServerSmokeOptions()
+		}
+		if *full {
+			base.PerRankBytes = harness.FullOptions().PerRankBytes
+		}
+		base.Seed = *seed
+		so, err := harness.ResolveServerOptions(base, *maxServers, *ranks, *ranksPerNode, *wlName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := harness.ServerMatrixSweep(so)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracebench: servers: %v\n", err)
 			os.Exit(1)
 		}
 		return res
@@ -144,11 +172,21 @@ func main() {
 			res := scaling()
 			if *csv {
 				for _, s := range res.Series {
-					fmt.Printf("# %s on %s (%s scaling)\n%s", s.Framework, s.Workload, s.Mode, s.CSV())
+					fmt.Printf("# %s on %s (%s scaling%s)\n%s", s.Framework, s.Workload, s.Mode, s.Placement(), s.CSV())
 				}
 				return
 			}
 			fmt.Println("# Overhead vs ranks (every registered framework)")
+			fmt.Print(res.Format())
+		case "servers":
+			res := servers()
+			if *csv {
+				for _, s := range res.Series {
+					fmt.Printf("# %s on %s (%d ranks%s)\n%s", s.Framework, s.Workload, s.Ranks, s.Placement(), s.CSV())
+				}
+				return
+			}
+			fmt.Println("# Overhead vs PFS object servers (every registered framework)")
 			fmt.Print(res.Format())
 		case "table1":
 			fmt.Println("# Table 1: summary table template")
@@ -163,7 +201,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "matrix", "scaling", "table2"} {
+		for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "overheads", "elapsed", "tracefs", "ptrace", "collective", "matrix", "scaling", "servers", "table2"} {
 			fmt.Printf("\n%s\n", strings.Repeat("=", 78))
 			run(id)
 		}

@@ -25,10 +25,15 @@ const PFSMount = "/pfs"
 type Config struct {
 	ComputeNodes int
 	RanksPerNode int
-	Net          netsim.Config
-	PFS          pfs.Config
-	Kernel       vfs.KernelConfig
-	LocalDisk    disk.Config
+	// TotalRanks caps the MPI world size when the job does not fill the
+	// last node (e.g. 4 ranks at 8 ranks per node). Zero means
+	// ComputeNodes * RanksPerNode. Ranks are block-placed: node i hosts
+	// ranks [i*RanksPerNode, (i+1)*RanksPerNode) up to the cap.
+	TotalRanks int
+	Net        netsim.Config
+	PFS        pfs.Config
+	Kernel     vfs.KernelConfig
+	LocalDisk  disk.Config
 
 	// MaxSkew and MaxDrift bound the per-node clock error, drawn
 	// deterministically from the environment seed. Zero disables.
@@ -90,9 +95,17 @@ func New(cfg Config) *Cluster {
 
 	// Sized up front: the constructor runs once per simulation, and the
 	// scaling experiments build thousands-of-rank testbeds in a loop.
+	totalRanks := cfg.ComputeNodes * cfg.RanksPerNode
+	if cfg.TotalRanks > 0 {
+		if cfg.TotalRanks > totalRanks {
+			panic(fmt.Sprintf("cluster: TotalRanks %d exceeds %d nodes x %d ranks/node",
+				cfg.TotalRanks, cfg.ComputeNodes, cfg.RanksPerNode))
+		}
+		totalRanks = cfg.TotalRanks
+	}
 	c.Kernels = make([]*vfs.Kernel, 0, cfg.ComputeNodes)
 	c.Locals = make([]*vfs.MemFS, 0, cfg.ComputeNodes)
-	worldKernels := make([]*vfs.Kernel, 0, cfg.ComputeNodes*cfg.RanksPerNode)
+	worldKernels := make([]*vfs.Kernel, 0, totalRanks)
 	for i := 0; i < cfg.ComputeNodes; i++ {
 		name := NodeName(i)
 		net_.AddNode(name)
@@ -118,7 +131,7 @@ func New(cfg Config) *Cluster {
 
 		c.Kernels = append(c.Kernels, k)
 		c.Locals = append(c.Locals, local)
-		for r := 0; r < cfg.RanksPerNode; r++ {
+		for r := 0; r < cfg.RanksPerNode && len(worldKernels) < totalRanks; r++ {
 			worldKernels = append(worldKernels, k)
 		}
 	}

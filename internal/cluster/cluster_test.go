@@ -75,6 +75,40 @@ func TestRanksPerNode(t *testing.T) {
 	}
 }
 
+func TestTotalRanksCapsLastNode(t *testing.T) {
+	cfg := cluster.Small()
+	cfg.ComputeNodes = 3
+	cfg.RanksPerNode = 4
+	cfg.TotalRanks = 10 // last node hosts only 2 ranks
+	c := cluster.New(cfg)
+	if c.Ranks() != 10 {
+		t.Fatalf("ranks = %d, want 10", c.Ranks())
+	}
+	// Block placement: ranks 0-3 on node 0, 8-9 on node 2.
+	if c.World.Rank(0).Node() != c.World.Rank(3).Node() {
+		t.Fatal("ranks 0-3 not packed on node 0")
+	}
+	if c.World.Rank(8).Node() != c.World.Rank(9).Node() {
+		t.Fatal("ranks 8-9 not packed on node 2")
+	}
+	if c.World.Rank(0).Node() == c.World.Rank(9).Node() {
+		t.Fatal("rank 9 should live on the last node")
+	}
+}
+
+func TestTotalRanksOverCapacityPanics(t *testing.T) {
+	cfg := cluster.Small()
+	cfg.ComputeNodes = 2
+	cfg.RanksPerNode = 2
+	cfg.TotalRanks = 5
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cluster.New(cfg)
+}
+
 func TestConstructionDeterministic(t *testing.T) {
 	run := func() sim.Duration {
 		c := cluster.New(cluster.Small())

@@ -58,6 +58,19 @@ type Options struct {
 	// ScaleMode selects weak scaling (fixed per-rank volume) or strong
 	// scaling (fixed total volume) for the scaling experiments.
 	ScaleMode ScaleMode
+
+	// RanksPerNode is the placement axis: how many MPI ranks share one
+	// compute node (and therefore its NIC, kernel, and local disk). Zero or
+	// one means the paper's one-rank-per-node testbed.
+	RanksPerNode int
+	// PFSServers overrides the parallel file system's object server count;
+	// zero keeps the testbed default. The server-count scaling experiments
+	// (ServerSweep) sweep this axis.
+	PFSServers int
+	// MaxServers bounds the server ladder of ServerSweep and
+	// ServerMatrixSweep: servers double from 1 up to MaxServers. Zero means
+	// DefaultMaxServers.
+	MaxServers int
 }
 
 // DefaultOptions returns the scaled-down sweep: 32 ranks, 16 MiB per rank,
@@ -103,10 +116,27 @@ func MatrixSmokeOptions() Options {
 	return o
 }
 
-// newCluster builds a fresh testbed for one run.
+// ranksPerNode returns the placement density, defaulted.
+func (o Options) ranksPerNode() int {
+	if o.RanksPerNode > 1 {
+		return o.RanksPerNode
+	}
+	return 1
+}
+
+// newCluster builds a fresh testbed for one run. Ranks are block-placed
+// RanksPerNode to a compute node (ceiling on the node count, so small rungs
+// of the rank ladder still run when they do not fill one node), and
+// PFSServers overrides the object server count when set.
 func (o Options) newCluster() *cluster.Cluster {
 	cfg := cluster.Default()
-	cfg.ComputeNodes = o.Ranks
+	rpn := o.ranksPerNode()
+	cfg.RanksPerNode = rpn
+	cfg.ComputeNodes = (o.Ranks + rpn - 1) / rpn
+	cfg.TotalRanks = o.Ranks
+	if o.PFSServers > 0 {
+		cfg.PFS.Servers = o.PFSServers
+	}
 	cfg.Seed = o.Seed
 	return cluster.New(cfg)
 }

@@ -88,10 +88,16 @@ func (o Options) maxRanks() int {
 // rankLadder returns the scaling sweep's x-axis: rank counts doubling from
 // 4 to MaxRanks, with MaxRanks itself always the top rung.
 func (o Options) rankLadder() []int {
-	max := o.maxRanks()
+	return doublingLadder(minScaleRanks, o.maxRanks())
+}
+
+// doublingLadder returns a sweep x-axis doubling from min toward max, with
+// max itself always the top rung even when it is off the doubling grid:
+// shared by the rank and server ladders.
+func doublingLadder(min, max int) []int {
 	var ladder []int
-	for r := minScaleRanks; r < max; r *= 2 {
-		ladder = append(ladder, r)
+	for v := min; v < max; v *= 2 {
+		ladder = append(ladder, v)
 	}
 	if n := len(ladder); n == 0 || ladder[n-1] < max {
 		ladder = append(ladder, max)
@@ -122,11 +128,12 @@ func (o Options) scaleRung(ranks int) workload.Scale {
 // ResolveScaleOptions builds the scaling-experiment configuration from CLI
 // flag values, shared by `iotaxo -exp scaling` and `tracebench -exp
 // scaling` so the two front ends cannot drift: mode must parse, maxRanks
-// overrides when positive, and the workload token selects the column axis —
-// empty means the paper's most demanding pattern (N-1 strided, keeping the
-// default run affordable), "all" the whole registry, anything else one
-// registered scenario.
-func ResolveScaleOptions(base Options, mode string, maxRanks int, workloadName string) (Options, error) {
+// overrides when positive, ranksPerNode sets the placement density (0/1 is
+// the paper's one-rank-per-node testbed), and the workload token selects the
+// column axis — empty means the paper's most demanding pattern (N-1 strided,
+// keeping the default run affordable), "all" the whole registry, anything
+// else one registered scenario.
+func ResolveScaleOptions(base Options, mode string, maxRanks, ranksPerNode int, workloadName string) (Options, error) {
 	sm, ok := ParseScaleMode(mode)
 	if !ok {
 		return base, fmt.Errorf("unknown scale mode %q (have weak, strong)", mode)
@@ -136,6 +143,33 @@ func ResolveScaleOptions(base Options, mode string, maxRanks int, workloadName s
 	if maxRanks > 0 {
 		o.MaxRanks = maxRanks
 	}
+	if err := o.resolvePlacement(ranksPerNode); err != nil {
+		return o, err
+	}
+	if err := o.resolveWorkloadAxis(workloadName); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// resolvePlacement validates and applies the -ranks-per-node flag value,
+// shared by every sweep resolver. Zero keeps the base options' placement,
+// mirroring the other override-when-positive flags.
+func (o *Options) resolvePlacement(ranksPerNode int) error {
+	if ranksPerNode < 0 {
+		return fmt.Errorf("ranks per node must be >= 1 (0 keeps the default), got %d", ranksPerNode)
+	}
+	if ranksPerNode > 0 {
+		o.RanksPerNode = ranksPerNode
+	}
+	return nil
+}
+
+// resolveWorkloadAxis applies the -workload token with the sweep
+// experiments' shared semantics: empty means the paper's most demanding
+// pattern (N-1 strided, keeping default runs affordable), "all" the whole
+// registry, anything else one registered scenario.
+func (o *Options) resolveWorkloadAxis(workloadName string) error {
 	switch workloadName {
 	case "":
 		o.Workloads = []workload.Workload{workload.PatternWorkload(workload.N1Strided)}
@@ -144,12 +178,26 @@ func ResolveScaleOptions(base Options, mode string, maxRanks int, workloadName s
 	default:
 		w, ok := workload.ByName(workloadName)
 		if !ok {
-			return o, fmt.Errorf("unknown workload %q (have all, %s)",
+			return fmt.Errorf("unknown workload %q (have all, %s)",
 				workloadName, strings.Join(workload.Names(), ", "))
 		}
 		o.Workloads = []workload.Workload{w}
 	}
-	return o, nil
+	return nil
+}
+
+// Placement renders the series' ", N ranks/node" header suffix — empty for
+// the default one-rank-per-node placement. CSV consumers prepend it to their
+// own series headers so multi-rank-per-node data stays distinguishable.
+func (r ScaleResult) Placement() string { return placementLabel(r.RanksPerNode) }
+
+// placementLabel renders the ", N ranks/node" table-header suffix for
+// multi-rank-per-node series; default one-rank-per-node output is unchanged.
+func placementLabel(ranksPerNode int) string {
+	if ranksPerNode > 1 {
+		return fmt.Sprintf(", %d ranks/node", ranksPerNode)
+	}
+	return ""
 }
 
 // ScalePoint is one rank-count position of a scaling sweep.
@@ -162,13 +210,14 @@ type ScalePoint struct {
 // ScaleResult is one framework x workload overhead-vs-ranks series: the
 // scalability mirror of FigureResult.
 type ScaleResult struct {
-	ID        string
-	Title     string
-	Framework string
-	Workload  string
-	Mode      ScaleMode
-	Block     int64
-	Points    []ScalePoint
+	ID           string
+	Title        string
+	Framework    string
+	Workload     string
+	Mode         ScaleMode
+	Block        int64
+	RanksPerNode int // placement density; 1 is one rank per node
+	Points       []ScalePoint
 }
 
 // ScaleSweep measures one framework against one workload across the rank
@@ -209,13 +258,14 @@ func (o Options) scaleTasks(fw framework.Framework, w workload.Workload, runs *s
 func (o Options) assembleScale(fw framework.Framework, w workload.Workload, runs *sweepRuns) (ScaleResult, error) {
 	ladder := o.rankLadder()
 	res := ScaleResult{
-		ID:        "scale",
-		Title:     fmt.Sprintf("%s overhead vs ranks, %s", fw.Name(), w.Name()),
-		Framework: fw.Name(),
-		Workload:  w.Name(),
-		Mode:      o.ScaleMode,
-		Block:     o.scaleBlock(),
-		Points:    make([]ScalePoint, len(ladder)),
+		ID:           "scale",
+		Title:        fmt.Sprintf("%s overhead vs ranks, %s", fw.Name(), w.Name()),
+		Framework:    fw.Name(),
+		Workload:     w.Name(),
+		Mode:         o.ScaleMode,
+		Block:        o.scaleBlock(),
+		RanksPerNode: o.ranksPerNode(),
+		Points:       make([]ScalePoint, len(ladder)),
 	}
 	for i, ranks := range ladder {
 		if err := runs.errs[i]; err != nil {
@@ -235,7 +285,7 @@ func (o Options) assembleScale(fw framework.Framework, w workload.Workload, runs
 // FigureResult.Format with ranks on the x-axis.
 func (r ScaleResult) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "# %s: %s (%s scaling, block %d KB)\n", r.ID, r.Title, r.Mode, r.Block>>10)
+	fmt.Fprintf(&b, "# %s: %s (%s scaling, block %d KB%s)\n", r.ID, r.Title, r.Mode, r.Block>>10, placementLabel(r.RanksPerNode))
 	fmt.Fprintf(&b, "%8s %12s %14s %14s %12s %12s\n",
 		"ranks", "per-rank(KB)", "untraced MB/s", "traced MB/s", "bw ovh %", "elapsed ovh %")
 	for _, p := range r.Points {
@@ -277,42 +327,58 @@ func ScaleMatrixSweep(o Options) (ScaleMatrixResult, error) {
 // shared bounded scheduler, so peak concurrency stays at PoolSize however
 // large the registries grow.
 func ScaleMatrixSweepOf(o Options, fws ...framework.Framework) (ScaleMatrixResult, error) {
+	series, err := matrixSweepOf(o, fws, len(o.rankLadder()), o.scaleTasks, o.assembleScale)
+	return ScaleMatrixResult{Series: series}, err
+}
+
+// matrixSweepOf is the shared framework x workload fan-out behind
+// ScaleMatrixSweepOf and ServerMatrixSweepOf: every pair's rung runs are
+// flattened into one task list for the bounded scheduler, then assembled
+// into a row-major (framework-major) series slice.
+func matrixSweepOf[R any](
+	o Options, fws []framework.Framework, rungs int,
+	tasks func(framework.Framework, workload.Workload, *sweepRuns) []func(),
+	assemble func(framework.Framework, workload.Workload, *sweepRuns) (R, error),
+) ([]R, error) {
 	workloads := o.matrixWorkloads()
-	m := ScaleMatrixResult{
-		Series: make([]ScaleResult, len(fws)*len(workloads)),
-	}
-	rungs := len(o.rankLadder())
-	runs := make([]*sweepRuns, len(m.Series))
-	tasks := make([]func(), 0, 2*len(m.Series)*rungs)
+	series := make([]R, len(fws)*len(workloads))
+	runs := make([]*sweepRuns, len(series))
+	all := make([]func(), 0, 2*len(series)*rungs)
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
 			runs[idx] = newSweepRuns(rungs)
-			tasks = append(tasks, o.scaleTasks(fw, w, runs[idx])...)
+			all = append(all, tasks(fw, w, runs[idx])...)
 		}
 	}
-	sched.runAll(tasks)
+	sched.runAll(all)
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
-			series, err := o.assembleScale(fw, w, runs[idx])
+			s, err := assemble(fw, w, runs[idx])
 			if err != nil {
-				return m, err
+				return series, err
 			}
-			m.Series[idx] = series
+			series[idx] = s
 		}
 	}
-	return m, nil
+	return series, nil
+}
+
+// formatMatrix renders a matrix's series tables under one header, separated
+// by blank lines, in matrix (framework-major) order.
+func formatMatrix[R interface{ Format() string }](header string, series []R) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%d series)\n", header, len(series))
+	for _, s := range series {
+		b.WriteByte('\n')
+		b.WriteString(s.Format())
+	}
+	return b.String()
 }
 
 // Format renders every series' table, separated by blank lines, in matrix
 // (framework-major) order.
 func (m ScaleMatrixResult) Format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "# framework x workload scaling matrix (%d series)\n", len(m.Series))
-	for _, s := range m.Series {
-		b.WriteByte('\n')
-		b.WriteString(s.Format())
-	}
-	return b.String()
+	return formatMatrix("framework x workload scaling matrix", m.Series)
 }

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"iotaxo/internal/framework"
+	"iotaxo/internal/workload"
+)
+
+// This file is the storage-scaling axis of the measurement engine: the dual
+// of scale.go. Where ScaleSweep grows the job against a fixed file system,
+// ServerSweep fixes the job (ranks and block size) and sweeps the parallel
+// file system's object server count instead — 1 doubling to
+// Options.MaxServers. Tracer overhead is relative to the untraced run *at
+// the same server count*, so each rung isolates how interposition cost
+// composes with storage parallelism: a tracer whose stalls hide behind a
+// saturated 1-server file system may dominate once 16 servers absorb the
+// I/O. ServerMatrixSweep folds the sweep into the matrix path, all through
+// the shared bounded scheduler.
+
+// DefaultMaxServers is the server ladder's default top rung, chosen to
+// bracket the paper testbed's 12 object servers.
+const DefaultMaxServers = 16
+
+// minScaleServers is the server ladder's base rung.
+const minScaleServers = 1
+
+// ServerOptions returns the default server-sweep configuration: the paper's
+// 32-rank job, 64 KB blocks, 1 MiB per rank, server ladder 1 doubling to 16.
+func ServerOptions() Options {
+	o := DefaultOptions()
+	o.PerRankBytes = 1 << 20
+	o.BlockSizes = []int64{64 << 10}
+	o.MaxServers = DefaultMaxServers
+	return o
+}
+
+// ServerSmokeOptions returns the smallest server ladder (1 to 4 servers, 8
+// ranks, 256 KiB per rank), affordable for the full registry under the race
+// detector: CI's server-sweep smoke step.
+func ServerSmokeOptions() Options {
+	o := ServerOptions()
+	o.Ranks = 8
+	o.PerRankBytes = 256 << 10
+	o.MaxServers = 4
+	return o
+}
+
+// maxServers returns the server ladder's top rung, defaulted.
+func (o Options) maxServers() int {
+	if o.MaxServers > 0 {
+		return o.MaxServers
+	}
+	return DefaultMaxServers
+}
+
+// serverLadder returns the server sweep's x-axis: object server counts
+// doubling from 1 to MaxServers, with MaxServers itself always the top rung.
+func (o Options) serverLadder() []int {
+	return doublingLadder(minScaleServers, o.maxServers())
+}
+
+// ResolveServerOptions builds the server-sweep configuration from CLI flag
+// values, shared by `iotaxo -exp servers` and `tracebench -exp servers` so
+// the two front ends cannot drift: maxServers and ranks override when
+// positive, ranksPerNode sets the placement density, and the workload token
+// selects the column axis with the same semantics as the rank-scaling
+// experiment.
+func ResolveServerOptions(base Options, maxServers, ranks, ranksPerNode int, workloadName string) (Options, error) {
+	o := base
+	if maxServers > 0 {
+		o.MaxServers = maxServers
+	}
+	if ranks > 0 {
+		o.Ranks = ranks
+	}
+	if err := o.resolvePlacement(ranksPerNode); err != nil {
+		return o, err
+	}
+	if err := o.resolveWorkloadAxis(workloadName); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// ServerPoint is one server-count position of a server sweep.
+type ServerPoint struct {
+	Servers int
+	BandwidthPoint
+}
+
+// ServerResult is one framework x workload overhead-vs-servers series: the
+// storage mirror of ScaleResult.
+type ServerResult struct {
+	ID           string
+	Title        string
+	Framework    string
+	Workload     string
+	Block        int64
+	Ranks        int
+	RanksPerNode int
+	Points       []ServerPoint
+}
+
+// ServerSweep measures one framework against one workload across the server
+// ladder at fixed ranks and block size. Every (server count, traced?) run is
+// an independently seeded simulation executed on the shared bounded
+// scheduler, so output is deterministic and peak concurrency is PoolSize.
+func ServerSweep(fw framework.Framework, w workload.Workload, o Options) (ServerResult, error) {
+	runs := newSweepRuns(len(o.serverLadder()))
+	sched.runAll(o.serverTasks(fw, w, runs))
+	return o.assembleServers(fw, w, runs)
+}
+
+// serverTasks returns the server sweep's leaf simulation tasks, one untraced
+// and one traced run per ladder rung.
+func (o Options) serverTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
+	ladder := o.serverLadder()
+	sc := workload.Scale{BlockSize: o.scaleBlock(), PerRankBytes: o.PerRankBytes}
+	tasks := make([]func(), 0, 2*len(ladder))
+	for i, servers := range ladder {
+		i := i
+		so := o
+		so.PFSServers = servers
+		tasks = append(tasks,
+			func() { runs.uns[i] = so.runUntracedAt(w, sc) },
+			func() {
+				rep, err := so.runTracedAt(fw, w, sc)
+				if err != nil {
+					runs.errs[i] = fmt.Errorf("harness: %s, %s, servers %d: %w", fw.Name(), w.Name(), servers, err)
+					return
+				}
+				runs.reps[i] = rep
+			})
+	}
+	return tasks
+}
+
+// assembleServers folds completed rung runs into the series.
+func (o Options) assembleServers(fw framework.Framework, w workload.Workload, runs *sweepRuns) (ServerResult, error) {
+	ladder := o.serverLadder()
+	res := ServerResult{
+		ID:           "servers",
+		Title:        fmt.Sprintf("%s overhead vs PFS servers, %s", fw.Name(), w.Name()),
+		Framework:    fw.Name(),
+		Workload:     w.Name(),
+		Block:        o.scaleBlock(),
+		Ranks:        o.Ranks,
+		RanksPerNode: o.ranksPerNode(),
+		Points:       make([]ServerPoint, len(ladder)),
+	}
+	for i, servers := range ladder {
+		if err := runs.errs[i]; err != nil {
+			return res, err
+		}
+		res.Points[i] = ServerPoint{
+			Servers:        servers,
+			BandwidthPoint: makePoint(o.scaleBlock(), runs.uns[i], runs.reps[i]),
+		}
+	}
+	return res, nil
+}
+
+// Placement mirrors ScaleResult.Placement for CSV consumers.
+func (r ServerResult) Placement() string { return placementLabel(r.RanksPerNode) }
+
+// Format renders the series as an aligned text table, mirroring
+// ScaleResult.Format with object servers on the x-axis.
+func (r ServerResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s (%d ranks, block %d KB%s)\n", r.ID, r.Title, r.Ranks, r.Block>>10, placementLabel(r.RanksPerNode))
+	fmt.Fprintf(&b, "%8s %14s %14s %12s %12s\n",
+		"servers", "untraced MB/s", "traced MB/s", "bw ovh %", "elapsed ovh %")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f %12.1f %12.1f\n",
+			p.Servers, p.UntracedMBps, p.TracedMBps,
+			p.BandwidthOvhFrac*100, p.ElapsedOvhFrac*100)
+	}
+	return b.String()
+}
+
+// CSV renders the series for plotting, mirroring ScaleResult.CSV.
+func (r ServerResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("servers,untraced_mbps,traced_mbps,bw_overhead_frac,elapsed_overhead_frac\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.4f,%.4f\n",
+			p.Servers, p.UntracedMBps, p.TracedMBps,
+			p.BandwidthOvhFrac, p.ElapsedOvhFrac)
+	}
+	return b.String()
+}
+
+// ServerMatrixResult is the storage-scaling matrix: one overhead-vs-servers
+// series per framework x workload pair, row-major in framework order.
+type ServerMatrixResult struct {
+	Series []ServerResult
+}
+
+// ServerMatrixSweep runs the server sweep for every registered framework on
+// every registered workload (Options.Workloads restricts the column axis).
+func ServerMatrixSweep(o Options) (ServerMatrixResult, error) {
+	return ServerMatrixSweepOf(o, framework.All()...)
+}
+
+// ServerMatrixSweepOf is ServerMatrixSweep restricted to the given
+// frameworks. All series' runs are flattened into one task list for the
+// shared bounded scheduler, so peak concurrency stays at PoolSize however
+// large the registries grow.
+func ServerMatrixSweepOf(o Options, fws ...framework.Framework) (ServerMatrixResult, error) {
+	series, err := matrixSweepOf(o, fws, len(o.serverLadder()), o.serverTasks, o.assembleServers)
+	return ServerMatrixResult{Series: series}, err
+}
+
+// Format renders every series' table, separated by blank lines, in matrix
+// (framework-major) order.
+func (m ServerMatrixResult) Format() string {
+	return formatMatrix("framework x workload server-count matrix", m.Series)
+}

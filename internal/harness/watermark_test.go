@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"iotaxo/internal/framework"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/workload"
+)
+
+// watermark samples the runtime goroutine population and the simulation's
+// live process count on a virtual-time tick for the whole run, recording the
+// peaks. The tick re-arms itself only while other events remain queued, so
+// it never keeps the event loop alive on its own.
+func watermark(env *sim.Env, peakGoroutines, peakLive *int) {
+	baseline := runtime.NumGoroutine()
+	var tick func()
+	tick = func() {
+		if g := runtime.NumGoroutine() - baseline; g > *peakGoroutines {
+			*peakGoroutines = g
+		}
+		if l := env.LiveProcs(); l > *peakLive {
+			*peakLive = l
+		}
+		if env.Pending() > 0 {
+			env.After(50*sim.Microsecond, tick)
+		}
+	}
+	env.After(0, tick)
+}
+
+// TestGoroutineWatermark512Ranks is the scalability regression test behind
+// the eventized network path: during a full 512-rank matrix cell (untraced
+// run plus a traced LANL-Trace run at the scaling ladder's default top
+// rung), live goroutines must stay bounded by the simulated process count —
+// O(procs), not O(messages) — and message delivery must spawn no
+// net.courier process at all. The retired goroutine-per-message engine
+// allocated one goroutine and one resume channel per in-flight message,
+// which is what kept the 4096-rank ladder out of reach.
+func TestGoroutineWatermark512Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-rank watermark run skipped in -short mode")
+	}
+	const ranks = 512
+	o := ScaleOptions()
+	o.Ranks = ranks
+	w := workload.PatternWorkload(workload.N1Strided)
+	sc := o.scaleRung(ranks)
+
+	// The bound: every simulated process owns one goroutine, so the
+	// runtime population above baseline may exceed the live-proc peak only
+	// by a small constant (test harness, GC workers). The proc population
+	// itself must be a small multiple of ranks + servers, however many
+	// messages are in flight (~16 objects x several PFS round trips per
+	// rank here).
+	const procSlack = 64
+	procBound := 4*ranks + 256
+
+	// Untraced half of the matrix cell.
+	{
+		c := o.newCluster()
+		var peakG, peakLive int
+		watermark(c.Env, &peakG, &peakLive)
+		res := w.Run(c.World, sc)
+		if res.Ranks != ranks {
+			t.Fatalf("untraced run covered %d ranks, want %d", res.Ranks, ranks)
+		}
+		verifyWatermark(t, "untraced", c.Env, peakG, peakLive, procBound, procSlack)
+	}
+
+	// Traced half: LANL-Trace, the costliest (most message-intensive)
+	// single-run framework.
+	{
+		c := o.newCluster()
+		var peakG, peakLive int
+		watermark(c.Env, &peakG, &peakLive)
+		rep, err := framework.MustLookup("LANL-Trace").Attach(c).Run(w.Spec(sc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TraceEvents == 0 {
+			t.Fatal("traced run produced no events")
+		}
+		verifyWatermark(t, "traced", c.Env, peakG, peakLive, procBound, procSlack)
+	}
+}
+
+func verifyWatermark(t *testing.T, name string, env *sim.Env, peakG, peakLive, procBound, procSlack int) {
+	t.Helper()
+	t.Logf("%s: peak live procs %d, peak goroutines above baseline %d", name, peakLive, peakG)
+	if peakLive == 0 {
+		t.Fatalf("%s: watermark sampled no live procs", name)
+	}
+	if peakLive > procBound {
+		t.Fatalf("%s: peak live procs %d exceeds O(procs) bound %d", name, peakLive, procBound)
+	}
+	if peakG > peakLive+procSlack {
+		t.Fatalf("%s: peak goroutines %d not bounded by live procs %d + %d",
+			name, peakG, peakLive, procSlack)
+	}
+	if couriers := env.Spawned("net.courier"); couriers != 0 {
+		t.Fatalf("%s: %d net.courier procs spawned, want 0", name, couriers)
+	}
+}

@@ -170,15 +170,24 @@ func (f *File) writeCollectiveBody(p *sim.Proc, mine []collPiece) (int64, error)
 	// (sender, aggregator) pair carrying all intersecting fragments.
 	const collTag = -950
 	myByAgg := splitContribution(mine, aggOf, domainEnd)
-	for agg, pieces := range myByAgg {
+	// Aggregators are visited in index order, not map-iteration order: the
+	// send sequence reaches the shared simulation clock through tx/rx
+	// serialization, so a randomized order made every multi-aggregator
+	// collective run nondeterministic.
+	aggOrder := make([]int, 0, len(myByAgg))
+	for agg := range myByAgg {
+		aggOrder = append(aggOrder, agg)
+	}
+	sort.Ints(aggOrder)
+	for _, agg := range aggOrder {
 		if agg == r.rank {
 			continue // local fragments need no network hop
 		}
 		var bytes int64
-		for _, pc := range pieces {
+		for _, pc := range myByAgg[agg] {
 			bytes += pc.Length
 		}
-		r.sendRaw(p, agg, collTag, bytes+64, pieces)
+		r.sendRaw(p, agg, collTag, bytes+64, myByAgg[agg])
 	}
 
 	// Phase 2: aggregators collect, merge, coalesce, and write.

@@ -13,6 +13,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"iotaxo/internal/sim"
 )
@@ -125,9 +126,19 @@ func (n *Network) Listen(node string, port int) *sim.Mailbox[Message] {
 	return mb
 }
 
-// wireBytes is the on-wire size of a message including framing.
+// mtuPayload is the payload capacity of one frame (standard Ethernet MTU
+// minus IP+TCP headers).
+const mtuPayload = 1460
+
+// wireBytes is the on-wire size of a message including framing: one frame
+// per started MTU payload (ceiling division — an exact multiple of 1460 must
+// not be charged an extra empty frame), minimum one frame so zero-byte
+// control messages still cost a header.
 func (n *Network) wireBytes(payload int64) int64 {
-	frames := payload/1460 + 1 // rough MTU-derived frame count
+	frames := (payload + mtuPayload - 1) / mtuPayload
+	if frames < 1 {
+		frames = 1
+	}
 	return payload + frames*n.cfg.FrameOverhead
 }
 
@@ -143,7 +154,9 @@ func (n *Network) TransferTime(payload int64) sim.Duration {
 // Send transmits msg from the calling process. The caller blocks for the
 // sender-side software cost and transmit serialization (as a kernel send
 // blocks while the NIC queue drains); propagation, receive serialization and
-// delivery proceed asynchronously in a courier process.
+// delivery proceed asynchronously as a pure event chain — no goroutine or
+// process is allocated per message, so in-flight message count never adds to
+// the runtime's live goroutine population.
 func (n *Network) Send(p *sim.Proc, msg Message) {
 	src := n.Iface(msg.From)
 	dst := n.Iface(msg.To)
@@ -156,12 +169,26 @@ func (n *Network) Send(p *sim.Proc, msg Message) {
 	src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
 	src.BytesSent += wire
 	src.MsgsSent++
-	n.env.Go("net.courier", func(c *sim.Proc) {
-		c.Sleep(n.cfg.Latency)
-		dst.rx.HoldFor(c, sim.DurationOf(wire, n.cfg.BandwidthBps))
-		dst.BytesReceived += wire
-		dst.MsgsReceived++
-		dstBox.Put(msg)
+	n.deliver(dst, dstBox, msg, wire)
+}
+
+// deliver runs the asynchronous half of a transfer — switch latency, receive
+// serialization, receiver stats, mailbox delivery — as a chain of scheduled
+// events. It replaces the per-message "net.courier" process the simulator
+// used to spawn: event sequencing mirrors that courier hop for hop (spawn
+// dispatch at the current instant, latency sleep, rx hold, release-then-
+// deliver), so simulated timestamps are identical while live goroutines stay
+// O(processes) instead of O(in-flight messages).
+func (n *Network) deliver(dst *Iface, box *sim.Mailbox[Message], msg Message, wire int64) {
+	rxTime := sim.DurationOf(wire, n.cfg.BandwidthBps)
+	n.env.After(0, func() {
+		n.env.After(n.cfg.Latency, func() {
+			dst.rx.HoldForThen(rxTime, func() {
+				dst.BytesReceived += wire
+				dst.MsgsReceived++
+				box.Put(msg)
+			})
+		})
 	})
 }
 
@@ -199,7 +226,8 @@ func (n *Network) ServeRequest(server string, msg Message) (req any, respond fun
 	from := msg.From
 	return call.Req, func(p *sim.Proc, respSize int64, resp any) {
 		// The response travels the reverse path: serialize on the server's
-		// tx, cross the switch, serialize on the client's rx.
+		// tx, cross the switch, serialize on the client's rx, delivered by
+		// the same zero-goroutine event chain as Send.
 		src := n.Iface(server)
 		dst := n.Iface(from)
 		wire := n.wireBytes(respSize)
@@ -207,22 +235,16 @@ func (n *Network) ServeRequest(server string, msg Message) (req any, respond fun
 		src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
 		src.BytesSent += wire
 		src.MsgsSent++
-		n.env.Go("net.courier", func(c *sim.Proc) {
-			c.Sleep(n.cfg.Latency)
-			dst.rx.HoldFor(c, sim.DurationOf(wire, n.cfg.BandwidthBps))
-			dst.BytesReceived += wire
-			dst.MsgsReceived++
-			reply.Put(Message{From: server, To: from, Size: respSize, Payload: resp})
-		})
+		n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp}, wire)
 	}
 }
 
-// Nodes returns the registered node names in insertion-independent
-// (map-iteration) order; callers needing determinism sort the result.
+// Nodes returns the registered node names, sorted.
 func (n *Network) Nodes() []string {
 	out := make([]string, 0, len(n.ifaces))
 	for name := range n.ifaces {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }

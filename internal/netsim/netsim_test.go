@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -166,6 +167,165 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 	if n.Iface("b").MsgsReceived != 1 {
 		t.Fatalf("receiver stats: %+v", n.Iface("b"))
+	}
+}
+
+// TestTransferTimeFrameCount pins the frame accounting at and around exact
+// MTU multiples: a 1460-byte payload fits one frame and 2920 bytes fit two —
+// the old `payload/1460 + 1` charged each an extra empty frame.
+func TestTransferTimeFrameCount(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	expect := func(payload, frames int64) sim.Duration {
+		wire := payload + frames*n.cfg.FrameOverhead
+		oneWay := sim.DurationOf(wire, n.cfg.BandwidthBps)
+		return n.cfg.PerMessageCPU + oneWay + n.cfg.Latency + oneWay
+	}
+	for _, c := range []struct {
+		payload, frames int64
+	}{
+		{0, 1}, // zero-byte control message still costs a header
+		{1, 1},
+		{1459, 1},
+		{1460, 1}, // exact MTU multiple: one frame, not two
+		{1461, 2},
+		{2919, 2},
+		{2920, 2}, // two exact frames
+		{2921, 3},
+	} {
+		if got, want := n.TransferTime(c.payload), expect(c.payload, c.frames); got != want {
+			t.Errorf("TransferTime(%d) = %v, want %v (%d frames)", c.payload, got, want, c.frames)
+		}
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := New(env, GigabitEthernet())
+	for _, name := range []string{"zeta", "alpha", "mid", "beta"} {
+		n.AddNode(name)
+	}
+	got := n.Nodes()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("Nodes() not sorted: %v", got)
+	}
+	if len(got) != 4 || got[0] != "alpha" || got[3] != "zeta" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}
+
+// TestDeliverySpawnsNoProcs is the per-message allocation regression test:
+// message delivery is a pure event chain, so no process (and therefore no
+// goroutine or resume channel) may be created per message.
+func TestDeliverySpawnsNoProcs(t *testing.T) {
+	env := sim.NewEnv(1)
+	n := testNet(env)
+	inbox := n.Listen("b", 1)
+	const msgs = 64
+	env.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			inbox.Get(p)
+		}
+	})
+	env.Go("send", func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			n.Send(p, Message{From: "a", To: "b", Port: 1, Size: 4096})
+		}
+	})
+	env.Run()
+	if got := n.Iface("b").MsgsReceived; got != msgs {
+		t.Fatalf("delivered %d messages, want %d", got, msgs)
+	}
+	if spawned := env.Spawned("net.courier"); spawned != 0 {
+		t.Fatalf("%d courier procs spawned for %d messages, want 0", spawned, msgs)
+	}
+}
+
+// courierSend is the retired goroutine-per-message delivery engine, kept
+// here as the reference implementation: the eventized Send must reproduce
+// its schedule exactly.
+func courierSend(n *Network, p *sim.Proc, msg Message) {
+	src := n.Iface(msg.From)
+	dst := n.Iface(msg.To)
+	dstBox := n.ports[msg.To][msg.Port]
+	wire := n.wireBytes(msg.Size)
+	p.Sleep(n.cfg.PerMessageCPU)
+	src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
+	src.BytesSent += wire
+	src.MsgsSent++
+	n.env.Go("net.courier", func(c *sim.Proc) {
+		c.Sleep(n.cfg.Latency)
+		dst.rx.HoldFor(c, sim.DurationOf(wire, n.cfg.BandwidthBps))
+		dst.BytesReceived += wire
+		dst.MsgsReceived++
+		dstBox.Put(msg)
+	})
+}
+
+// TestEventDeliveryMatchesCourierReference drives a contended incast
+// scenario — randomized sizes and jittered start times, three senders into
+// one receiver — through both engines and requires every delivery timestamp
+// to match: the byte-identical-output guarantee of the refactor.
+func TestEventDeliveryMatchesCourierReference(t *testing.T) {
+	type send struct {
+		from  string
+		after sim.Duration
+		size  int64
+	}
+	var plan []send
+	{
+		env := sim.NewEnv(42)
+		for _, from := range []string{"a", "b", "c"} {
+			for i := 0; i < 10; i++ {
+				plan = append(plan, send{
+					from:  from,
+					after: sim.Duration(env.Rand().Int63n(int64(200 * sim.Microsecond))),
+					size:  env.Rand().Int63n(1 << 18),
+				})
+			}
+		}
+	}
+	run := func(engine func(*Network, *sim.Proc, Message)) []sim.Time {
+		env := sim.NewEnv(1)
+		n := New(env, GigabitEthernet())
+		n.AddNode("a")
+		n.AddNode("b")
+		n.AddNode("c")
+		n.AddNode("sink")
+		inbox := n.Listen("sink", 1)
+		var arrivals []sim.Time
+		env.Go("recv", func(p *sim.Proc) {
+			for i := 0; i < len(plan); i++ {
+				inbox.Get(p)
+				arrivals = append(arrivals, p.Now())
+			}
+		})
+		bySender := map[string][]send{}
+		for _, s := range plan {
+			bySender[s.from] = append(bySender[s.from], s)
+		}
+		for _, from := range []string{"a", "b", "c"} {
+			mine := bySender[from]
+			from := from
+			env.Go("send."+from, func(p *sim.Proc) {
+				for _, s := range mine {
+					p.Sleep(s.after)
+					engine(n, p, Message{From: s.from, To: "sink", Port: 1, Size: s.size})
+				}
+			})
+		}
+		env.Run()
+		return arrivals
+	}
+	ref := run(courierSend)
+	got := run(func(n *Network, p *sim.Proc, m Message) { n.Send(p, m) })
+	if len(ref) != len(plan) || len(got) != len(plan) {
+		t.Fatalf("deliveries: ref %d, event %d, want %d", len(ref), len(got), len(plan))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("delivery %d: courier engine at %v, event engine at %v", i, ref[i], got[i])
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ type Env struct {
 	yield chan struct{}
 
 	procs   map[*Proc]struct{} // live (started, not finished) processes
+	spawns  map[string]int     // processes ever spawned, by Go name
 	running bool
 	stopped bool
 	nextPID int
@@ -32,11 +33,22 @@ type Env struct {
 // The same seed and the same program yield an identical event history.
 func NewEnv(seed int64) *Env {
 	return &Env{
-		rng:   rand.New(rand.NewSource(seed)),
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		yield:  make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+		spawns: make(map[string]int),
 	}
 }
+
+// LiveProcs reports the number of live (started, not finished) processes:
+// each owns one OS goroutine, so this is the simulation's contribution to
+// the runtime's goroutine population.
+func (e *Env) LiveProcs() int { return len(e.procs) }
+
+// Spawned reports how many processes have ever been spawned under the given
+// Go name. Scalability tests use it to prove hot paths (network message
+// delivery) allocate no process per event.
+func (e *Env) Spawned(name string) int { return e.spawns[name] }
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }

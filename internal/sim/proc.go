@@ -27,6 +27,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		panic("sim: Go after environment stopped")
 	}
 	e.nextPID++
+	e.spawns[name]++
 	p := &Proc{env: e, pid: e.nextPID, name: name, resume: make(chan struct{})}
 	e.procs[p] = struct{}{}
 	go func() {

@@ -4,11 +4,23 @@ package sim
 // contended hardware: a disk head, a network link, a CPU. Acquire blocks the
 // calling process while the resource is saturated; waiters are served in
 // arrival order, which keeps the simulation deterministic.
+//
+// A unit can be claimed two ways: by a process (Acquire/HoldFor, which park
+// the caller's goroutine) or by a pure event callback (AcquireThen/
+// HoldForThen, which allocate no goroutine at all). Both waiter kinds share
+// one FIFO queue, so a mixed population is still served in arrival order.
 type Resource struct {
 	env     *Env
 	cap     int
 	inUse   int
-	waiters []*Proc
+	waiters []waiter
+}
+
+// waiter is one queued claim on a saturated resource: either a parked
+// process or a pure event callback.
+type waiter struct {
+	p  *Proc
+	fn func()
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -25,17 +37,39 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters = append(r.waiters, waiter{p: p})
 	p.park()
 }
 
-// Release returns one unit, waking the longest-waiting process if any.
+// AcquireThen obtains one unit of the resource on behalf of an event chain:
+// fn runs holding the unit — immediately (synchronously) when one is free,
+// otherwise as a scheduled event when the queue reaches it. fn must
+// eventually lead to a Release. Unlike Acquire, no process or goroutine is
+// involved; this is the event-callback half of the resource API.
+func (r *Resource) AcquireThen(fn func()) {
+	if r.inUse < r.cap {
+		r.inUse++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, waiter{fn: fn})
+}
+
+// Release returns one unit, waking the longest-waiting claim if any.
 func (r *Resource) Release() {
 	if len(r.waiters) > 0 {
 		w := r.waiters[0]
 		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = waiter{}
 		r.waiters = r.waiters[:len(r.waiters)-1]
-		w.unpark() // unit passes directly to the waiter; inUse unchanged
+		// The unit passes directly to the waiter; inUse unchanged. A parked
+		// process resumes via its dispatch event; a callback claim is
+		// scheduled the same way, so both kinds interleave identically.
+		if w.p != nil {
+			w.p.unpark()
+		} else {
+			r.env.schedule(r.env.now, w.fn)
+		}
 		return
 	}
 	if r.inUse == 0 {
@@ -57,6 +91,22 @@ func (r *Resource) HoldFor(p *Proc, d Duration) {
 	r.Acquire(p)
 	p.Sleep(d)
 	r.Release()
+}
+
+// HoldForThen occupies one unit for d virtual nanoseconds and then calls fn,
+// all as pure events: the zero-goroutine counterpart of HoldFor, used for
+// store-and-forward hops whose initiator has no process of its own (network
+// message delivery). The event sequencing exactly mirrors a process calling
+// HoldFor — acquire (queue if saturated), sleep d, release, continue — so
+// callback and process claims contending for one resource produce identical
+// schedules.
+func (r *Resource) HoldForThen(d Duration, fn func()) {
+	r.AcquireThen(func() {
+		r.env.After(d, func() {
+			r.Release()
+			fn()
+		})
+	})
 }
 
 // InUse reports the number of units currently held.

@@ -183,6 +183,143 @@ func TestResourceHoldForSerializes(t *testing.T) {
 	}
 }
 
+func TestHoldForThenSerializes(t *testing.T) {
+	// The event-callback hold must produce the same schedule as three
+	// processes calling HoldFor (cf. TestResourceHoldForSerializes).
+	env := NewEnv(1)
+	res := NewResource(env, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		env.At(0, func() {
+			res.HoldForThen(10, func() { finish = append(finish, env.Now()) })
+		})
+	}
+	env.Run()
+	want := []Time{10, 20, 30}
+	if len(finish) != len(want) {
+		t.Fatalf("finish = %v, want %v", finish, want)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestHoldForThenMatchesHoldFor(t *testing.T) {
+	// Identical contention patterns through the process API and the event
+	// API must finish at identical instants: the byte-identical-output
+	// guarantee of the eventized network path rests on this equivalence.
+	holds := []Duration{7, 13, 5, 29, 11, 3}
+	run := func(eventized bool) []Time {
+		env := NewEnv(1)
+		res := NewResource(env, 2)
+		finish := make([]Time, len(holds))
+		for i, d := range holds {
+			i, d := i, d
+			start := Time(i) * 2
+			if eventized {
+				env.At(start, func() {
+					res.HoldForThen(d, func() { finish[i] = env.Now() })
+				})
+			} else {
+				env.At(start, func() {
+					env.Go("h", func(p *Proc) {
+						res.HoldFor(p, d)
+						finish[i] = p.Now()
+					})
+				})
+			}
+		}
+		env.Run()
+		return finish
+	}
+	procs, events := run(false), run(true)
+	for i := range holds {
+		if procs[i] != events[i] {
+			t.Fatalf("hold %d: proc engine finished at %v, event engine at %v\nprocs:  %v\nevents: %v",
+				i, procs[i], events[i], procs, events)
+		}
+	}
+}
+
+func TestAcquireThenMixedFIFOWithProcs(t *testing.T) {
+	// Process and callback claims share one queue and are served in strict
+	// arrival order.
+	env := NewEnv(1)
+	res := NewResource(env, 1)
+	var order []string
+	env.Go("first", func(p *Proc) {
+		res.Acquire(p)
+		p.Sleep(10)
+		res.Release()
+	})
+	env.At(1, func() {
+		res.AcquireThen(func() {
+			order = append(order, "event")
+			res.Release()
+		})
+	})
+	env.At(2, func() {
+		env.Go("proc", func(p *Proc) {
+			res.Acquire(p)
+			order = append(order, "proc")
+			res.Release()
+		})
+	})
+	env.At(3, func() {
+		res.AcquireThen(func() {
+			order = append(order, "event2")
+			res.Release()
+		})
+	})
+	env.Run()
+	want := []string{"event", "proc", "event2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestAcquireThenImmediateRunsSynchronously(t *testing.T) {
+	env := NewEnv(1)
+	res := NewResource(env, 1)
+	ran := false
+	res.AcquireThen(func() { ran = true })
+	if !ran {
+		t.Fatal("uncontended AcquireThen deferred its callback")
+	}
+	if res.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", res.InUse())
+	}
+	res.Release()
+}
+
+func TestSpawnedAndLiveProcs(t *testing.T) {
+	env := NewEnv(1)
+	if env.LiveProcs() != 0 || env.Spawned("w") != 0 {
+		t.Fatal("fresh env reports procs")
+	}
+	for i := 0; i < 3; i++ {
+		env.Go("w", func(p *Proc) { p.Sleep(10) })
+	}
+	env.Go("other", func(p *Proc) { p.Sleep(5) })
+	if env.LiveProcs() != 4 {
+		t.Fatalf("LiveProcs = %d, want 4", env.LiveProcs())
+	}
+	env.Run()
+	if env.Spawned("w") != 3 || env.Spawned("other") != 1 || env.Spawned("nosuch") != 0 {
+		t.Fatalf("spawn counts: w=%d other=%d", env.Spawned("w"), env.Spawned("other"))
+	}
+	if env.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs after Run = %d, want 0", env.LiveProcs())
+	}
+}
+
 func TestReleaseWithoutAcquirePanics(t *testing.T) {
 	env := NewEnv(1)
 	res := NewResource(env, 1)
