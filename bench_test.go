@@ -212,6 +212,32 @@ func BenchmarkMatrixSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixSweepWarm measures the memoized sweep path: a shared
+// cache is populated once, then every iteration re-runs the full-registry
+// smoke matrix against it, so the engine schedules zero simulations and
+// the benchmark isolates sweep assembly plus cache lookups — the floor a
+// warm `tracebench -exp matrix` pays.
+func BenchmarkMatrixSweepWarm(b *testing.B) {
+	o := harness.MatrixSmokeOptions()
+	o.Cache = harness.NewCache("")
+	if _, err := harness.MatrixSweep(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var hits int64
+	for i := 0; i < b.N; i++ {
+		m, err := harness.MatrixSweep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Stats.Executed != 0 {
+			b.Fatalf("warm sweep executed %d simulations, want 0", m.Stats.Executed)
+		}
+		hits = m.Stats.Hits()
+	}
+	b.ReportMetric(float64(hits), "cache_hits")
+}
+
 // --- SCALING: overhead vs rank count ---
 
 // BenchmarkScaleSweep measures the rank-scaling engine on a small ladder:

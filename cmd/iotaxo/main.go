@@ -53,7 +53,11 @@ func main() {
 	maxRanks := flag.Int("max-ranks", harness.DefaultMaxRanks, "top rung of the -exp scaling rank ladder (e.g. 4096)")
 	maxServers := flag.Int("max-servers", harness.DefaultMaxServers, "top rung of the -exp servers object-server ladder")
 	ranksPerNode := flag.Int("ranks-per-node", 1, "MPI ranks placed per compute node (placement axis)")
+	cacheDir := flag.String("cache-dir", harness.DefaultCacheDir(), "directory for the persisted simulation-result cache (empty = in-memory only)")
+	noCache := flag.Bool("no-cache", false, "disable the persisted simulation-result cache (in-run baseline sharing still applies)")
 	flag.Parse()
+
+	cache := resolveCache(*cacheDir, *noCache)
 
 	if *list {
 		fmt.Print(listOutput())
@@ -66,9 +70,9 @@ func main() {
 	if *exp != "" {
 		switch *exp {
 		case "scaling":
-			runScaling(*scaleMode, *maxRanks, *ranksPerNode, *wlName)
+			runScaling(cache, *scaleMode, *maxRanks, *ranksPerNode, *wlName)
 		case "servers":
-			runServers(*maxServers, *ranksPerNode, *wlName)
+			runServers(cache, *maxServers, *ranksPerNode, *wlName)
 		default:
 			fmt.Fprintf(os.Stderr, "iotaxo: unknown experiment %q (have scaling, servers)\n", *exp)
 			os.Exit(2)
@@ -83,6 +87,7 @@ func main() {
 	if *table == "matrix" {
 		o = harness.MatrixSmokeOptions()
 	}
+	o.Cache = cache
 	if *wlName != "" && *wlName != "all" {
 		w, ok := workload.ByName(*wlName)
 		if !ok {
@@ -111,6 +116,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 				os.Exit(1)
 			}
+			fmt.Fprintln(os.Stderr, m.Stats.Footer())
 			c = m.Classifications()[0]
 		}
 		fmt.Print(core.RenderCard(c))
@@ -122,6 +128,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(m.Format())
+		fmt.Fprintln(os.Stderr, m.Stats.Footer())
 	case "extended":
 		fmt.Print(extendedTable())
 	case "summary":
@@ -133,6 +140,7 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Print(m.RenderComparison())
+			fmt.Fprintln(os.Stderr, m.Stats.Footer())
 			return
 		}
 		cs := core.AllPaperClassifications()
@@ -153,16 +161,29 @@ func main() {
 	}
 }
 
+// resolveCache builds the CLI's simulation-result cache: persisted under
+// dir by default, in-memory only with -no-cache (in-run baseline sharing
+// needs no directory). The cache only ever accelerates — results are
+// byte-identical with or without it — but it addresses simulation *inputs*:
+// after changing simulator code, clear the directory (or run -no-cache).
+func resolveCache(dir string, noCache bool) *harness.Cache {
+	if noCache {
+		return harness.NewCache("")
+	}
+	return harness.NewCache(dir)
+}
+
 // runScaling measures overhead vs rank count for every registered
 // framework: the -exp scaling experiment. Flag resolution (mode, rank
 // ladder, placement, workload axis) is shared with tracebench via
 // harness.ResolveScaleOptions.
-func runScaling(mode string, maxRanks, ranksPerNode int, wlName string) {
+func runScaling(cache *harness.Cache, mode string, maxRanks, ranksPerNode int, wlName string) {
 	o, err := harness.ResolveScaleOptions(harness.ScaleOptions(), mode, maxRanks, ranksPerNode, wlName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 		os.Exit(2)
 	}
+	o.Cache = cache
 	fmt.Println("# measuring overhead vs ranks on the simulated cluster...")
 	res, err := harness.ScaleMatrixSweep(o)
 	if err != nil {
@@ -170,16 +191,18 @@ func runScaling(mode string, maxRanks, ranksPerNode int, wlName string) {
 		os.Exit(1)
 	}
 	fmt.Print(res.Format())
+	fmt.Fprintln(os.Stderr, res.Stats.Footer())
 }
 
 // runServers measures overhead vs object server count for every registered
 // framework: the -exp servers experiment, the storage dual of -exp scaling.
-func runServers(maxServers, ranksPerNode int, wlName string) {
+func runServers(cache *harness.Cache, maxServers, ranksPerNode int, wlName string) {
 	o, err := harness.ResolveServerOptions(harness.ServerOptions(), maxServers, 0, ranksPerNode, wlName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
 		os.Exit(2)
 	}
+	o.Cache = cache
 	fmt.Println("# measuring overhead vs PFS object servers on the simulated cluster...")
 	res, err := harness.ServerMatrixSweep(o)
 	if err != nil {
@@ -187,6 +210,7 @@ func runServers(maxServers, ranksPerNode int, wlName string) {
 		os.Exit(1)
 	}
 	fmt.Print(res.Format())
+	fmt.Fprintln(os.Stderr, res.Stats.Footer())
 }
 
 // listOutput renders the framework registry: every framework that can be

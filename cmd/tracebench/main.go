@@ -7,6 +7,7 @@
 //	tracebench -exp fig2        # one experiment
 //	tracebench -exp fig2 -csv   # CSV series for plotting
 //	tracebench -full            # paper-scale data volumes (slow)
+//	tracebench -bench-json BENCH_sweep.json   # cold/warm cache benchmark
 //
 // Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace
 // collective matrix scaling servers table1 table2 all. The matrix and
@@ -46,7 +47,20 @@ func main() {
 	maxRanks := flag.Int("max-ranks", 0, "top rung of the -exp scaling rank ladder, e.g. 4096 (default 512, 16 with -quick)")
 	maxServers := flag.Int("max-servers", 0, "top rung of the -exp servers object-server ladder (default 16, 4 with -quick)")
 	ranksPerNode := flag.Int("ranks-per-node", 1, "MPI ranks placed per compute node for -exp scaling/servers (placement axis)")
+	cacheDir := flag.String("cache-dir", harness.DefaultCacheDir(), "directory for the persisted simulation-result cache (empty = in-memory only)")
+	noCache := flag.Bool("no-cache", false, "disable the persisted simulation-result cache (in-run baseline sharing still applies)")
+	benchJSON := flag.String("bench-json", "", "run the cold/warm cache benchmark and write the snapshot to this file, then exit (nonzero if warm output diverges)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		runBench(*benchJSON)
+		return
+	}
+
+	cache := harness.NewCache(*cacheDir)
+	if *noCache {
+		cache = harness.NewCache("")
+	}
 
 	o := harness.DefaultOptions()
 	if *full {
@@ -62,6 +76,7 @@ func main() {
 		o.Mode = lanltrace.ModeStrace
 	}
 	o.Seed = *seed
+	o.Cache = cache
 	if *wlName != "" && *wlName != "all" {
 		w, ok := workload.ByName(*wlName)
 		if !ok {
@@ -86,6 +101,7 @@ func main() {
 			base.PerRankBytes = harness.FullOptions().PerRankBytes
 		}
 		base.Seed = *seed
+		base.Cache = cache
 		so, err := harness.ResolveScaleOptions(base, *scaleMode, *maxRanks, *ranksPerNode, *wlName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
@@ -96,6 +112,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracebench: scaling: %v\n", err)
 			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, res.Stats.Footer())
 		return res
 	}
 
@@ -110,6 +127,7 @@ func main() {
 			base.PerRankBytes = harness.FullOptions().PerRankBytes
 		}
 		base.Seed = *seed
+		base.Cache = cache
 		so, err := harness.ResolveServerOptions(base, *maxServers, *ranks, *ranksPerNode, *wlName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
@@ -120,6 +138,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracebench: servers: %v\n", err)
 			os.Exit(1)
 		}
+		fmt.Fprintln(os.Stderr, res.Stats.Footer())
 		return res
 	}
 
@@ -133,6 +152,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "tracebench: matrix: %v\n", err)
 				os.Exit(1)
 			}
+			fmt.Fprintln(os.Stderr, m.Stats.Footer())
 			matrixCache = &m
 		}
 		return *matrixCache
@@ -208,6 +228,30 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// runBench measures the memoizing sweep engine itself: a cold then warm
+// full-registry matrix smoke sweep against a fresh cache, written as one
+// JSON snapshot (the in-repo BENCH_sweep.json trajectory point). Exits
+// nonzero if the warm run diverged from the cold run — a caching bug, not
+// a performance regression.
+func runBench(path string) {
+	snap, err := harness.BenchSweep()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, []byte(snap.JSON()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "# bench: cold %.0fms (%d executed), warm %.0fms (%d executed, %d cached), identical=%v -> %s\n",
+		snap.Cold.WallMS, snap.Cold.Executed, snap.Warm.WallMS, snap.Warm.Executed,
+		snap.Warm.MemHits+snap.Warm.DiskHits, snap.Identical, path)
+	if !snap.Identical {
+		fmt.Fprintln(os.Stderr, "tracebench: bench: warm sweep output diverged from cold sweep")
+		os.Exit(1)
+	}
 }
 
 func emitFigure(fig harness.FigureResult, csv bool) {

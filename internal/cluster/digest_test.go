@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"testing"
+
+	"iotaxo/internal/sim"
+)
+
+// TestConfigDigest checks the fingerprint's equality contract: equal
+// configs hash equal; changing any field — top-level or nested in a
+// simulator sub-config — changes the digest.
+func TestConfigDigest(t *testing.T) {
+	base := Default()
+	if base.Digest() != Default().Digest() {
+		t.Fatal("equal configs must produce equal digests")
+	}
+	mutations := map[string]func(*Config){
+		"ComputeNodes":       func(c *Config) { c.ComputeNodes++ },
+		"RanksPerNode":       func(c *Config) { c.RanksPerNode++ },
+		"TotalRanks":         func(c *Config) { c.TotalRanks = 7 },
+		"Net.BandwidthBps":   func(c *Config) { c.Net.BandwidthBps *= 2 },
+		"Net.Latency":        func(c *Config) { c.Net.Latency += sim.Microsecond },
+		"PFS.Name":           func(c *Config) { c.PFS.Name = "nfs" },
+		"PFS.Servers":        func(c *Config) { c.PFS.Servers++ },
+		"PFS.Array.Disks":    func(c *Config) { c.PFS.Array.Disks++ },
+		"PFS.Array.Disk":     func(c *Config) { c.PFS.Array.Disk.Seek += sim.Microsecond },
+		"PFS.Stackable":      func(c *Config) { c.PFS.Stackable = !c.PFS.Stackable },
+		"Kernel.SyscallCost": func(c *Config) { c.Kernel.SyscallCost += sim.Microsecond },
+		"LocalDisk.PerOp":    func(c *Config) { c.LocalDisk.PerOp += sim.Microsecond },
+		"MaxSkew":            func(c *Config) { c.MaxSkew += sim.Millisecond },
+		"MaxDrift":           func(c *Config) { c.MaxDrift *= 2 },
+		"Seed":               func(c *Config) { c.Seed++ },
+	}
+	for name, mutate := range mutations {
+		cfg := Default()
+		mutate(&cfg)
+		if cfg.Digest() == base.Digest() {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}

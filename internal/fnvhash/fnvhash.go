@@ -8,6 +8,8 @@
 // FS rely on that. Only hash *equality* is meaningful to callers.
 package fnvhash
 
+import "math"
+
 // Offset64 is the FNV-1a 64-bit offset basis.
 const Offset64 = 14695981039346656037
 
@@ -24,11 +26,33 @@ func String(h uint64, s string) uint64 {
 
 // Int64 folds v's little-endian bytes into an FNV-1a hash.
 func Int64(h uint64, v int64) uint64 {
-	u := uint64(v)
+	return Uint64(h, uint64(v))
+}
+
+// Uint64 folds v's little-endian bytes into an FNV-1a hash.
+func Uint64(h, v uint64) uint64 {
 	for i := 0; i < 8; i++ {
-		h ^= u & 0xff
+		h ^= v & 0xff
 		h *= prime64
-		u >>= 8
+		v >>= 8
 	}
+	return h
+}
+
+// Float64 folds v's IEEE-754 bit pattern into an FNV-1a hash. Only hash
+// equality is meaningful; distinct bit patterns of equal values (+0/-0)
+// hash differently.
+func Float64(h uint64, v float64) uint64 {
+	return Uint64(h, math.Float64bits(v))
+}
+
+// Bool folds one byte (0 or 1) into an FNV-1a hash.
+func Bool(h uint64, v bool) uint64 {
+	b := uint64(0)
+	if v {
+		b = 1
+	}
+	h ^= b
+	h *= prime64
 	return h
 }

@@ -77,6 +77,24 @@ type Report struct {
 	ReplayErr      float64
 }
 
+// Variant is optionally implemented by frameworks whose behaviour depends
+// on configuration beyond the registered Name — e.g. LANL-Trace's strace
+// and ltrace modes share one Name but produce different measurements. The
+// digest must be a stable fingerprint of that configuration, so the
+// harness's content-addressed result cache can tell the variants apart.
+type Variant interface {
+	VariantDigest() uint64
+}
+
+// VariantDigest returns fw's configuration fingerprint, or 0 for frameworks
+// whose Name alone identifies their behaviour.
+func VariantDigest(fw Framework) uint64 {
+	if v, ok := fw.(Variant); ok {
+		return v.VariantDigest()
+	}
+	return 0
+}
+
 // RunWorkload executes a workload spec on the cluster with per-rank
 // statistics: the shared Session.Run body for frameworks whose probes are
 // attached before launch.

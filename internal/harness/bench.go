@@ -1,0 +1,100 @@
+package harness
+
+// This file is the in-repo perf trajectory: BenchSweep times the registry
+// smoke matrix cold (empty cache) and warm (same cache, same call) and
+// packages wall time, executed-vs-cached simulation counts, and the
+// scheduler envelope as a JSON-ready snapshot. `tracebench -bench-json`
+// writes it to BENCH_sweep.json, which is committed each PR so the
+// engine's performance history lives in the repository next to the code
+// that produced it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// BenchPhase is one timed pass of the bench sweep.
+type BenchPhase struct {
+	WallMS   float64 `json:"wall_ms"`
+	Executed int64   `json:"executed"`
+	Shared   int64   `json:"shared"`
+	MemHits  int64   `json:"mem_hits"`
+	DiskHits int64   `json:"disk_hits"`
+}
+
+// BenchSnapshot is one BENCH_sweep.json record: the smoke matrix timed
+// cold and warm against one in-memory cache.
+type BenchSnapshot struct {
+	// Schema is the cache schema the snapshot was produced under.
+	Schema     int    `json:"schema"`
+	Experiment string `json:"experiment"`
+	// Frameworks/Workloads/Blocks describe the swept matrix shape.
+	Frameworks int `json:"frameworks"`
+	Workloads  int `json:"workloads"`
+	Blocks     int `json:"blocks"`
+
+	Cold BenchPhase `json:"cold"`
+	Warm BenchPhase `json:"warm"`
+
+	PoolSize        int `json:"pool_size"`
+	PeakConcurrency int `json:"peak_concurrency"`
+	// Identical reports that the cold and warm Format renderings matched
+	// byte for byte — the memoization-correctness invariant.
+	Identical bool `json:"identical"`
+}
+
+// JSON renders the snapshot, indented, newline-terminated.
+func (s BenchSnapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot fail
+	}
+	return string(b) + "\n"
+}
+
+// BenchSweep runs the full-registry smoke matrix twice against one fresh
+// in-memory cache — cold, then warm — and reports the perf snapshot. An
+// error means the sweep itself failed; a snapshot with Identical == false
+// or Warm.Executed != 0 means the memoization layer is broken (the
+// -bench-json CLI path treats both as fatal).
+func BenchSweep() (BenchSnapshot, error) {
+	o := MatrixSmokeOptions()
+	o.Cache = NewCache("")
+
+	start := time.Now()
+	cold, err := MatrixSweep(o)
+	coldWall := time.Since(start)
+	if err != nil {
+		return BenchSnapshot{}, fmt.Errorf("cold sweep: %w", err)
+	}
+
+	start = time.Now()
+	warm, err := MatrixSweep(o)
+	warmWall := time.Since(start)
+	if err != nil {
+		return BenchSnapshot{}, fmt.Errorf("warm sweep: %w", err)
+	}
+
+	phase := func(wall time.Duration, s SweepStats) BenchPhase {
+		return BenchPhase{
+			WallMS:   float64(wall.Microseconds()) / 1e3,
+			Executed: s.Executed,
+			Shared:   s.Shared,
+			MemHits:  s.MemHits,
+			DiskHits: s.DiskHits,
+		}
+	}
+	return BenchSnapshot{
+		Schema:          cacheSchema,
+		Experiment:      "matrix-smoke",
+		Frameworks:      len(cold.FrameworkNames()),
+		Workloads:       len(cold.Workloads),
+		Blocks:          len(o.BlockSizes),
+		Cold:            phase(coldWall, cold.Stats),
+		Warm:            phase(warmWall, warm.Stats),
+		PoolSize:        warm.Stats.PoolSize,
+		PeakConcurrency: cold.Stats.PeakConcurrency,
+		Identical:       cold.Format() == warm.Format() && warm.Stats.Executed == 0,
+	}, nil
+}

@@ -78,8 +78,9 @@ type InTextResult struct {
 
 // InTextOverheads measures the six numbers quoted in Section 4.1.2 (paper:
 // 51.3/64.7/68.6 % at 64 KB; 5.5/6.1/0.6 % at 8192 KB). Each cell's runs
-// execute as leaf tasks on the shared bounded scheduler; each is an
-// independent deterministic simulation.
+// stage through the memoizing task set — their keys coincide with the
+// figure sweeps', so with a shared Options.Cache the cells come for free
+// after any figure has run.
 func InTextOverheads(o Options) InTextResult {
 	patterns := []workload.Pattern{workload.N1Strided, workload.N1NonStrided, workload.NToN}
 	blocks := []int64{64 << 10, 8192 << 10}
@@ -88,26 +89,26 @@ func InTextOverheads(o Options) InTextResult {
 	res := InTextResult{Cells: make([]OverheadCell, n)}
 	uns := make([]workload.Result, n)
 	reps := make([]framework.Report, n)
-	tasks := make([]func(), 0, 2*n)
-	for pi, pattern := range patterns {
-		for bi, block := range blocks {
-			idx, block := pi*len(blocks)+bi, block
-			wl := workload.PatternWorkload(pattern)
-			tasks = append(tasks,
-				func() { uns[idx] = o.runUntraced(wl, block) },
-				func() {
-					rep, err := o.runTraced(fw, wl, block)
-					if err != nil {
-						panic(err)
-					}
-					reps[idx] = rep
-				})
-		}
-	}
-	sched.runAll(tasks)
+	errs := make([]error, n)
+	ts := newTaskSet(o.cacheOrEphemeral())
 	for pi, pattern := range patterns {
 		for bi, block := range blocks {
 			idx := pi*len(blocks) + bi
+			wl := workload.PatternWorkload(pattern)
+			sc := o.scaleFor(block)
+			ts.untraced(o, wl, sc, &uns[idx])
+			ts.traced(o, fw, wl, sc,
+				fmt.Sprintf("%s, %s, block %d", fw.Name(), wl.Name(), block),
+				&reps[idx], &errs[idx])
+		}
+	}
+	ts.run()
+	for pi, pattern := range patterns {
+		for bi, block := range blocks {
+			idx := pi*len(blocks) + bi
+			if errs[idx] != nil {
+				panic(errs[idx])
+			}
 			frac := 0.0
 			if uns[idx].BandwidthBps() > 0 {
 				frac = (uns[idx].BandwidthBps() - reps[idx].Result.BandwidthBps()) / uns[idx].BandwidthBps()
@@ -163,19 +164,11 @@ func ElapsedRange(o Options) ElapsedRangeResult {
 	wg.Wait()
 	for _, fig := range figs {
 		for _, p := range fig.Points {
-			if len(res.Points) == 0 {
-				res.Min, res.Max = p.ElapsedOvhFrac, p.ElapsedOvhFrac
-			}
 			res.Points = append(res.Points, p)
 			res.Workloads = append(res.Workloads, fig.Workload)
-			if p.ElapsedOvhFrac < res.Min {
-				res.Min = p.ElapsedOvhFrac
-			}
-			if p.ElapsedOvhFrac > res.Max {
-				res.Max = p.ElapsedOvhFrac
-			}
 		}
 	}
+	res.Min, res.Max = rangeOver(len(res.Points), func(i int) float64 { return res.Points[i].ElapsedOvhFrac })
 	return res
 }
 
@@ -250,9 +243,16 @@ func TracefsExperiment(o Options) TracefsResult {
 	const block = 64 << 10
 	wl := workload.PatternWorkload(workload.N1Strided)
 	// The baseline is a leaf simulation like any other: it takes a pool slot
-	// so the scheduler's global bound holds even across concurrent callers.
+	// so the scheduler's global bound holds even across concurrent callers,
+	// and it stages through the memoizing task set (its key coincides with
+	// the figure sweeps' 64 KB baseline). The variant runs below stay
+	// uncached: every configured Tracefs instance shares one registered
+	// Name with no variant fingerprint, so caching them would alias
+	// distinct feature sets.
 	var base workload.Result
-	sched.runAll([]func(){func() { base = o.runUntraced(wl, block) }})
+	ts := newTaskSet(o.cacheOrEphemeral())
+	ts.untraced(o, wl, o.scaleFor(block), &base)
+	ts.run()
 
 	variants := tracefsVariants()
 	res := TracefsResult{Rows: make([]TracefsRow, len(variants)+1)}
@@ -394,17 +394,5 @@ func (r PartraceResult) BestFidelity() float64 {
 // OverheadRange returns the overhead envelope (zero when no rows were
 // measured, never a sentinel).
 func (r PartraceResult) OverheadRange() (min, max float64) {
-	for i, row := range r.Rows {
-		if i == 0 {
-			min, max = row.OverheadFrac, row.OverheadFrac
-			continue
-		}
-		if row.OverheadFrac < min {
-			min = row.OverheadFrac
-		}
-		if row.OverheadFrac > max {
-			max = row.OverheadFrac
-		}
-	}
-	return min, max
+	return rangeOver(len(r.Rows), func(i int) float64 { return r.Rows[i].OverheadFrac })
 }

@@ -71,6 +71,13 @@ type Options struct {
 	// ServerMatrixSweep: servers double from 1 up to MaxServers. Zero means
 	// DefaultMaxServers.
 	MaxServers int
+
+	// Cache memoizes leaf-simulation summaries across engine calls (and,
+	// when the cache persists to disk, across processes). Nil gives every
+	// engine call a fresh in-memory cache: in-run baseline sharing still
+	// applies, but nothing is reused between calls — the right default for
+	// tests and benchmarks, which must measure real simulations.
+	Cache *Cache
 }
 
 // DefaultOptions returns the scaled-down sweep: 32 ranks, 16 MiB per rank,
@@ -124,11 +131,13 @@ func (o Options) ranksPerNode() int {
 	return 1
 }
 
-// newCluster builds a fresh testbed for one run. Ranks are block-placed
-// RanksPerNode to a compute node (ceiling on the node count, so small rungs
-// of the rank ladder still run when they do not fill one node), and
-// PFSServers overrides the object server count when set.
-func (o Options) newCluster() *cluster.Cluster {
+// clusterConfig derives the testbed configuration of one run. Ranks are
+// block-placed RanksPerNode to a compute node (ceiling on the node count,
+// so small rungs of the rank ladder still run when they do not fill one
+// node), and PFSServers overrides the object server count when set. The
+// config is the complete cluster-side input of a leaf simulation: its
+// Digest (with the workload, scale, and framework) is the cache key.
+func (o Options) clusterConfig() cluster.Config {
 	cfg := cluster.Default()
 	rpn := o.ranksPerNode()
 	cfg.RanksPerNode = rpn
@@ -138,7 +147,27 @@ func (o Options) newCluster() *cluster.Cluster {
 		cfg.PFS.Servers = o.PFSServers
 	}
 	cfg.Seed = o.Seed
-	return cluster.New(cfg)
+	return cfg
+}
+
+// newCluster builds a fresh testbed for one run.
+func (o Options) newCluster() *cluster.Cluster {
+	return cluster.New(o.clusterConfig())
+}
+
+// simKeyFor identifies one leaf simulation by its complete input set; fw is
+// nil for untraced baselines.
+func (o Options) simKeyFor(fw framework.Framework, w workload.Workload, sc workload.Scale) simKey {
+	k := simKey{
+		Workload: w.Name(),
+		Scale:    sc.Digest(),
+		Cluster:  o.clusterConfig().Digest(),
+	}
+	if fw != nil {
+		k.Framework = fw.Name()
+		k.Variant = framework.VariantDigest(fw)
+	}
+	return k
 }
 
 // scaleFor derives the workload scale at one block size.
@@ -254,26 +283,104 @@ func newSweepRuns(n int) *sweepRuns {
 	}
 }
 
-// runTasks returns the sweep's leaf simulation tasks — one untraced and one
-// traced run per block size — writing results into runs. Tasks are
-// independent, independently seeded simulations, so the scheduler may run
-// them in any order or interleaving without changing any measured value.
-func (o Options) runTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
-	tasks := make([]func(), 0, 2*len(o.BlockSizes))
-	for i, block := range o.BlockSizes {
-		i, block := i, block
-		tasks = append(tasks,
-			func() { runs.uns[i] = o.runUntraced(w, block) },
-			func() {
-				rep, err := o.runTraced(fw, w, block)
-				if err != nil {
-					runs.errs[i] = fmt.Errorf("harness: %s, %s, block %d: %w", fw.Name(), w.Name(), block, err)
-					return
-				}
-				runs.reps[i] = rep
-			})
+// cacheOrEphemeral returns the options' cache, or a fresh in-memory cache
+// for one engine call when none is configured.
+func (o Options) cacheOrEphemeral() *Cache {
+	if o.Cache != nil {
+		return o.Cache
 	}
-	return tasks
+	return NewCache("")
+}
+
+// simCost estimates one leaf simulation's size (roughly its simulated I/O
+// event count) for the scheduler's shortest-first ordering. Traced runs pay
+// for interposition and trace output on every event.
+func simCost(o Options, sc workload.Scale, traced bool) int64 {
+	c := int64(sc.Objects())*int64(o.Ranks) + int64(o.Ranks)
+	if traced {
+		c *= 3
+	}
+	return c
+}
+
+// taskSet stages one engine call's leaf simulations before scheduling: the
+// construction-time half of the memoization layer. Identical untraced
+// baselines — every framework row of a matrix needs the same one per
+// workload x scale — collapse into a single task whose result fans out to
+// every registered destination, so a cold full-registry matrix executes one
+// untraced run per cell-column instead of one per cell. Every task then
+// resolves through the cache, which adds in-flight dedup and cross-process
+// reuse. Construction is single-threaded; only run() executes anything.
+type taskSet struct {
+	cache     *Cache
+	baselines map[simKey]*fanout
+	tasks     []task
+}
+
+// fanout collects every destination awaiting one shared untraced baseline.
+type fanout struct {
+	dsts []*workload.Result
+}
+
+func newTaskSet(c *Cache) *taskSet {
+	return &taskSet{cache: c, baselines: make(map[simKey]*fanout)}
+}
+
+// untraced stages a baseline run of w at sc, fanning an already-staged
+// identical run out to dst instead of scheduling a duplicate.
+func (ts *taskSet) untraced(o Options, w workload.Workload, sc workload.Scale, dst *workload.Result) {
+	k := o.simKeyFor(nil, w, sc)
+	if f, ok := ts.baselines[k]; ok {
+		f.dsts = append(f.dsts, dst)
+		ts.cache.shared.Add(1)
+		return
+	}
+	f := &fanout{dsts: []*workload.Result{dst}}
+	ts.baselines[k] = f
+	ts.tasks = append(ts.tasks, task{
+		cost: simCost(o, sc, false),
+		run: func() {
+			res := ts.cache.untraced(k, func() workload.Result { return o.runUntracedAt(w, sc) })
+			for _, d := range f.dsts {
+				*d = res
+			}
+		},
+	})
+}
+
+// traced stages a traced run of w under fw at sc; label contextualizes the
+// error wrap ("fw, w, block 65536").
+func (ts *taskSet) traced(o Options, fw framework.Framework, w workload.Workload, sc workload.Scale, label string, dst *framework.Report, errDst *error) {
+	k := o.simKeyFor(fw, w, sc)
+	ts.tasks = append(ts.tasks, task{
+		cost: simCost(o, sc, true),
+		run: func() {
+			rep, err := ts.cache.traced(k, func() (framework.Report, error) { return o.runTracedAt(fw, w, sc) })
+			if err != nil {
+				*errDst = fmt.Errorf("harness: %s: %w", label, err)
+				return
+			}
+			*dst = rep
+		},
+	})
+}
+
+// run executes the staged tasks on the shared bounded scheduler.
+func (ts *taskSet) run() { sched.run(ts.tasks) }
+
+// addSweepTasks stages the block-size sweep's leaf simulations — one shared
+// untraced and one traced run per block size — writing results into runs.
+// Tasks are independent, independently seeded simulations, so the scheduler
+// may run them in any order or interleaving without changing any measured
+// value.
+func (o Options) addSweepTasks(ts *taskSet, fw framework.Framework, w workload.Workload, runs *sweepRuns) {
+	for i, block := range o.BlockSizes {
+		sc := o.scaleFor(block)
+		ts.untraced(o, w, sc, &runs.uns[i])
+		ts.traced(o, fw, w, sc,
+			fmt.Sprintf("%s, %s, block %d", fw.Name(), w.Name(), block),
+			&runs.reps[i], &runs.errs[i])
+	}
 }
 
 // assemble folds completed runs into the figure's points.
@@ -302,7 +409,9 @@ func (o Options) sweep(id, title string, fw framework.Framework, w workload.Work
 		Points: make([]BandwidthPoint, len(o.BlockSizes)),
 	}
 	runs := newSweepRuns(len(o.BlockSizes))
-	sched.runAll(o.runTasks(fw, w, runs))
+	ts := newTaskSet(o.cacheOrEphemeral())
+	o.addSweepTasks(ts, fw, w, runs)
+	ts.run()
 	if err := o.assemble(&fig, runs); err != nil {
 		return fig, err
 	}

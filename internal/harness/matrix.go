@@ -41,19 +41,22 @@ type MatrixCell struct {
 // ElapsedOvhRange returns the cell's elapsed-overhead envelope across block
 // sizes. A cell with no points reports the zero (unmeasured) envelope.
 func (c MatrixCell) ElapsedOvhRange() (min, max float64) {
-	if len(c.Points) == 0 {
-		return 0, 0
-	}
-	min, max = c.Points[0].ElapsedOvhFrac, c.Points[0].ElapsedOvhFrac
-	for _, p := range c.Points[1:] {
-		if p.ElapsedOvhFrac < min {
-			min = p.ElapsedOvhFrac
+	return rangeOver(len(c.Points), func(i int) float64 { return c.Points[i].ElapsedOvhFrac })
+}
+
+// rangeOver folds n indexed values into their [lo, hi] envelope: the shared
+// min/max fold behind every overhead-range accessor. An empty set reports
+// the zero (unmeasured) envelope, never a sentinel.
+func rangeOver(n int, v func(int) float64) (lo, hi float64) {
+	for i := 0; i < n; i++ {
+		x := v(i)
+		if i == 0 {
+			lo, hi = x, x
+			continue
 		}
-		if p.ElapsedOvhFrac > max {
-			max = p.ElapsedOvhFrac
-		}
+		lo, hi = min(lo, x), max(hi, x)
 	}
-	return min, max
+	return lo, hi
 }
 
 // MatrixResult is the full framework x workload overhead matrix.
@@ -62,6 +65,10 @@ type MatrixResult struct {
 	Workloads []workload.Workload
 	// Cells is row-major: frameworks (in registry order) x Workloads.
 	Cells []MatrixCell
+	// Stats is the sweep's cache/scheduler accounting. It is reported
+	// beside the measurements (CLI stderr footer), never inside Format/CSV:
+	// cold and warm runs must render byte-identically.
+	Stats SweepStats
 
 	fws []framework.Framework
 }
@@ -74,10 +81,14 @@ func MatrixSweep(o Options) (MatrixResult, error) {
 
 // MatrixSweepOf is MatrixSweep restricted to the given frameworks (e.g. one
 // framework for `iotaxo -table card -measured`); Options.Workloads
-// restricts the workload axis the same way. Every cell's runs are flattened
-// into one task list for the shared bounded scheduler, so peak concurrency
+// restricts the workload axis the same way. Every cell's runs are staged
+// into one task set for the shared bounded scheduler, so peak concurrency
 // stays at PoolSize no matter how many cells the registries imply; every
-// run is a deterministic, independently seeded simulation.
+// run is a deterministic, independently seeded simulation. The task set
+// shares each workload x block untraced baseline across all framework rows
+// and memoizes leaves through Options.Cache, so a cold full-registry matrix
+// executes one untraced run per cell-column and a warm repeat executes
+// nothing — with byte-identical output either way.
 func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) {
 	workloads := o.matrixWorkloads()
 	m := MatrixResult{
@@ -85,16 +96,19 @@ func MatrixSweepOf(o Options, fws ...framework.Framework) (MatrixResult, error) 
 		Cells:     make([]MatrixCell, len(fws)*len(workloads)),
 		fws:       fws,
 	}
+	cache := o.cacheOrEphemeral()
+	before := cache.Stats()
+	ts := newTaskSet(cache)
 	runs := make([]*sweepRuns, len(m.Cells))
-	tasks := make([]func(), 0, 2*len(m.Cells)*len(o.BlockSizes))
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
 			runs[idx] = newSweepRuns(len(o.BlockSizes))
-			tasks = append(tasks, o.runTasks(fw, w, runs[idx])...)
+			o.addSweepTasks(ts, fw, w, runs[idx])
 		}
 	}
-	sched.runAll(tasks)
+	ts.run()
+	m.Stats = sweepStatsSince(cache, before)
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
@@ -146,21 +160,11 @@ func (m MatrixResult) Classifications() []*core.Classification {
 	out := make([]*core.Classification, 0, len(m.fws))
 	for fi, fw := range m.fws {
 		c := fw.Classification()
-		var min, max float64
 		bestReplay, replayed := 0.0, false
-		points := 0
+		var ovh []float64
 		for _, cell := range m.row(fi) {
 			for _, p := range cell.Points {
-				if points == 0 {
-					min, max = p.ElapsedOvhFrac, p.ElapsedOvhFrac
-				}
-				points++
-				if p.ElapsedOvhFrac < min {
-					min = p.ElapsedOvhFrac
-				}
-				if p.ElapsedOvhFrac > max {
-					max = p.ElapsedOvhFrac
-				}
+				ovh = append(ovh, p.ElapsedOvhFrac)
 				if p.ReplayMeasured {
 					if !replayed || p.ReplayErr < bestReplay {
 						bestReplay = p.ReplayErr
@@ -169,7 +173,8 @@ func (m MatrixResult) Classifications() []*core.Classification {
 				}
 			}
 		}
-		if points > 0 {
+		min, max := rangeOver(len(ovh), func(i int) float64 { return ovh[i] })
+		if len(ovh) > 0 {
 			c.ElapsedOverhead = core.OverheadReport{
 				Measured:    true,
 				ElapsedMin:  min,

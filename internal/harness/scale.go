@@ -226,32 +226,27 @@ type ScaleResult struct {
 // so output is deterministic and peak concurrency is PoolSize.
 func ScaleSweep(fw framework.Framework, w workload.Workload, o Options) (ScaleResult, error) {
 	runs := newSweepRuns(len(o.rankLadder()))
-	sched.runAll(o.scaleTasks(fw, w, runs))
+	ts := newTaskSet(o.cacheOrEphemeral())
+	o.addScaleTasks(ts, fw, w, runs)
+	ts.run()
 	return o.assembleScale(fw, w, runs)
 }
 
-// scaleTasks returns the scaling sweep's leaf simulation tasks, one
-// untraced and one traced run per ladder rung.
-func (o Options) scaleTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
-	ladder := o.rankLadder()
-	tasks := make([]func(), 0, 2*len(ladder))
-	for i, ranks := range ladder {
-		i := i
+// addScaleTasks stages the scaling sweep's leaf simulations, one shared
+// untraced and one traced run per ladder rung. Each rung's tasks carry the
+// rung-specific options (Ranks), so cache keys fingerprint the rung's
+// actual testbed and the scheduler's shortest-first ordering sees the
+// rung's actual size.
+func (o Options) addScaleTasks(ts *taskSet, fw framework.Framework, w workload.Workload, runs *sweepRuns) {
+	for i, ranks := range o.rankLadder() {
 		ro := o
 		ro.Ranks = ranks
 		sc := o.scaleRung(ranks)
-		tasks = append(tasks,
-			func() { runs.uns[i] = ro.runUntracedAt(w, sc) },
-			func() {
-				rep, err := ro.runTracedAt(fw, w, sc)
-				if err != nil {
-					runs.errs[i] = fmt.Errorf("harness: %s, %s, ranks %d: %w", fw.Name(), w.Name(), ranks, err)
-					return
-				}
-				runs.reps[i] = rep
-			})
+		ts.untraced(ro, w, sc, &runs.uns[i])
+		ts.traced(ro, fw, w, sc,
+			fmt.Sprintf("%s, %s, ranks %d", fw.Name(), w.Name(), ranks),
+			&runs.reps[i], &runs.errs[i])
 	}
-	return tasks
 }
 
 // assembleScale folds completed rung runs into the series.
@@ -314,6 +309,10 @@ func (r ScaleResult) CSV() string {
 // flattened series list.
 type ScaleMatrixResult struct {
 	Series []ScaleResult
+	// Stats is the sweep's cache/scheduler accounting, reported beside the
+	// measurements (never inside Format, which must stay byte-identical
+	// between cold and warm runs).
+	Stats SweepStats
 }
 
 // ScaleMatrixSweep runs the scaling sweep for every registered framework on
@@ -323,46 +322,52 @@ func ScaleMatrixSweep(o Options) (ScaleMatrixResult, error) {
 }
 
 // ScaleMatrixSweepOf is ScaleMatrixSweep restricted to the given
-// frameworks. All series' runs are flattened into one task list for the
-// shared bounded scheduler, so peak concurrency stays at PoolSize however
-// large the registries grow.
+// frameworks. All series' runs are staged into one task set for the shared
+// bounded scheduler — sharing untraced baselines across framework rows and
+// memoizing through Options.Cache — so peak concurrency stays at PoolSize
+// however large the registries grow.
 func ScaleMatrixSweepOf(o Options, fws ...framework.Framework) (ScaleMatrixResult, error) {
-	series, err := matrixSweepOf(o, fws, len(o.rankLadder()), o.scaleTasks, o.assembleScale)
-	return ScaleMatrixResult{Series: series}, err
+	series, stats, err := matrixSweepOf(o, fws, len(o.rankLadder()), Options.addScaleTasks, o.assembleScale)
+	return ScaleMatrixResult{Series: series, Stats: stats}, err
 }
 
 // matrixSweepOf is the shared framework x workload fan-out behind
 // ScaleMatrixSweepOf and ServerMatrixSweepOf: every pair's rung runs are
-// flattened into one task list for the bounded scheduler, then assembled
-// into a row-major (framework-major) series slice.
+// staged into one task set for the bounded scheduler (shared baselines,
+// cache memoization, shortest-first ordering), then assembled into a
+// row-major (framework-major) series slice with the call's cache/scheduler
+// accounting.
 func matrixSweepOf[R any](
 	o Options, fws []framework.Framework, rungs int,
-	tasks func(framework.Framework, workload.Workload, *sweepRuns) []func(),
+	add func(Options, *taskSet, framework.Framework, workload.Workload, *sweepRuns),
 	assemble func(framework.Framework, workload.Workload, *sweepRuns) (R, error),
-) ([]R, error) {
+) ([]R, SweepStats, error) {
 	workloads := o.matrixWorkloads()
 	series := make([]R, len(fws)*len(workloads))
 	runs := make([]*sweepRuns, len(series))
-	all := make([]func(), 0, 2*len(series)*rungs)
+	cache := o.cacheOrEphemeral()
+	before := cache.Stats()
+	ts := newTaskSet(cache)
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
 			runs[idx] = newSweepRuns(rungs)
-			all = append(all, tasks(fw, w, runs[idx])...)
+			add(o, ts, fw, w, runs[idx])
 		}
 	}
-	sched.runAll(all)
+	ts.run()
+	stats := sweepStatsSince(cache, before)
 	for fi, fw := range fws {
 		for wi, w := range workloads {
 			idx := fi*len(workloads) + wi
 			s, err := assemble(fw, w, runs[idx])
 			if err != nil {
-				return series, err
+				return series, stats, err
 			}
 			series[idx] = s
 		}
 	}
-	return series, nil
+	return series, stats, nil
 }
 
 // formatMatrix renders a matrix's series tables under one header, separated

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -70,18 +71,43 @@ func (s *scheduler) resetPeak() { s.peak.Store(0) }
 // tasks observed since the last resetPeak.
 func (s *scheduler) peakConcurrency() int { return int(s.peak.Load()) }
 
-// runAll executes every task and returns when all have finished. At most
-// size() tasks run at once, enforced by the shared slot pool even across
-// concurrent runAll calls. Tasks must be leaf work (they must not call
-// runAll themselves): a task that waited on nested tasks while holding a
-// slot could starve the pool.
+// task is one schedulable leaf simulation with an a-priori cost estimate,
+// used to order a batch shortest-first.
+type task struct {
+	// cost is a unitless size estimate (roughly proportional to simulated
+	// I/O event count). Zero-cost tasks keep submission order.
+	cost int64
+	run  func()
+}
+
+// runAll executes every task and returns when all have finished, in
+// submission order. See run for the scheduling contract.
 func (s *scheduler) runAll(tasks []func()) {
+	ts := make([]task, len(tasks))
+	for i, fn := range tasks {
+		ts[i] = task{run: fn}
+	}
+	s.run(ts)
+}
+
+// run executes every task and returns when all have finished. Tasks start
+// shortest-first (stable on the cost estimate), so a ladder's 4096-rank
+// rungs cannot head-of-line-block its cheap rungs behind a full pool. At
+// most size() tasks run at once, enforced by the shared slot pool even
+// across concurrent run calls. Ordering cannot change any measured value —
+// every task is an independently seeded simulation — only when each starts.
+// Tasks must be leaf work (they must not call run themselves): a task that
+// waited on nested tasks while holding a slot could starve the pool.
+func (s *scheduler) run(tasks []task) {
 	if len(tasks) == 0 {
 		return
 	}
+	ordered := make([]task, len(tasks))
+	copy(ordered, tasks)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].cost < ordered[j].cost })
 	workers := s.size()
-	if workers > len(tasks) {
-		workers = len(tasks)
+	if workers > len(ordered) {
+		workers = len(ordered)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -91,7 +117,7 @@ func (s *scheduler) runAll(tasks []func()) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
+				if i >= len(ordered) {
 					return
 				}
 				s.slots <- struct{}{}
@@ -102,7 +128,7 @@ func (s *scheduler) runAll(tasks []func()) {
 						break
 					}
 				}
-				tasks[i]()
+				ordered[i].run()
 				s.active.Add(-1)
 				<-s.slots
 			}

@@ -109,32 +109,26 @@ type ServerResult struct {
 // scheduler, so output is deterministic and peak concurrency is PoolSize.
 func ServerSweep(fw framework.Framework, w workload.Workload, o Options) (ServerResult, error) {
 	runs := newSweepRuns(len(o.serverLadder()))
-	sched.runAll(o.serverTasks(fw, w, runs))
+	ts := newTaskSet(o.cacheOrEphemeral())
+	o.addServerTasks(ts, fw, w, runs)
+	ts.run()
 	return o.assembleServers(fw, w, runs)
 }
 
-// serverTasks returns the server sweep's leaf simulation tasks, one untraced
-// and one traced run per ladder rung.
-func (o Options) serverTasks(fw framework.Framework, w workload.Workload, runs *sweepRuns) []func() {
-	ladder := o.serverLadder()
+// addServerTasks stages the server sweep's leaf simulations, one shared
+// untraced and one traced run per ladder rung. Each rung's tasks carry the
+// rung-specific options (PFSServers), so cache keys fingerprint the rung's
+// actual testbed.
+func (o Options) addServerTasks(ts *taskSet, fw framework.Framework, w workload.Workload, runs *sweepRuns) {
 	sc := workload.Scale{BlockSize: o.scaleBlock(), PerRankBytes: o.PerRankBytes}
-	tasks := make([]func(), 0, 2*len(ladder))
-	for i, servers := range ladder {
-		i := i
+	for i, servers := range o.serverLadder() {
 		so := o
 		so.PFSServers = servers
-		tasks = append(tasks,
-			func() { runs.uns[i] = so.runUntracedAt(w, sc) },
-			func() {
-				rep, err := so.runTracedAt(fw, w, sc)
-				if err != nil {
-					runs.errs[i] = fmt.Errorf("harness: %s, %s, servers %d: %w", fw.Name(), w.Name(), servers, err)
-					return
-				}
-				runs.reps[i] = rep
-			})
+		ts.untraced(so, w, sc, &runs.uns[i])
+		ts.traced(so, fw, w, sc,
+			fmt.Sprintf("%s, %s, servers %d", fw.Name(), w.Name(), servers),
+			&runs.reps[i], &runs.errs[i])
 	}
-	return tasks
 }
 
 // assembleServers folds completed rung runs into the series.
@@ -196,6 +190,10 @@ func (r ServerResult) CSV() string {
 // series per framework x workload pair, row-major in framework order.
 type ServerMatrixResult struct {
 	Series []ServerResult
+	// Stats is the sweep's cache/scheduler accounting, reported beside the
+	// measurements (never inside Format, which must stay byte-identical
+	// between cold and warm runs).
+	Stats SweepStats
 }
 
 // ServerMatrixSweep runs the server sweep for every registered framework on
@@ -205,12 +203,13 @@ func ServerMatrixSweep(o Options) (ServerMatrixResult, error) {
 }
 
 // ServerMatrixSweepOf is ServerMatrixSweep restricted to the given
-// frameworks. All series' runs are flattened into one task list for the
-// shared bounded scheduler, so peak concurrency stays at PoolSize however
-// large the registries grow.
+// frameworks. All series' runs are staged into one task set for the shared
+// bounded scheduler — sharing untraced baselines across framework rows and
+// memoizing through Options.Cache — so peak concurrency stays at PoolSize
+// however large the registries grow.
 func ServerMatrixSweepOf(o Options, fws ...framework.Framework) (ServerMatrixResult, error) {
-	series, err := matrixSweepOf(o, fws, len(o.serverLadder()), o.serverTasks, o.assembleServers)
-	return ServerMatrixResult{Series: series}, err
+	series, stats, err := matrixSweepOf(o, fws, len(o.serverLadder()), Options.addServerTasks, o.assembleServers)
+	return ServerMatrixResult{Series: series, Stats: stats}, err
 }
 
 // Format renders every series' table, separated by blank lines, in matrix

@@ -3,7 +3,9 @@ package lanltrace
 import (
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/core"
+	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/framework"
+	"iotaxo/internal/interpose"
 	"iotaxo/internal/mpi"
 	"iotaxo/internal/sim"
 	"iotaxo/internal/trace"
@@ -21,6 +23,26 @@ type fwAdapter struct{ cfg Config }
 
 func (a *fwAdapter) Name() string                         { return "LANL-Trace" }
 func (a *fwAdapter) Classification() *core.Classification { return core.PaperLANLTrace() }
+
+// VariantDigest distinguishes LANL-Trace configurations that share the
+// registered Name — strace vs. ltrace mode, ablated timing jobs, tuned cost
+// models — so cached results from one mode are never served to another.
+func (a *fwAdapter) VariantDigest() uint64 {
+	f := func(name string) uint64 { return fnvhash.String(fnvhash.Offset64, name) }
+	model := func(name string, m interpose.CostModel) uint64 {
+		var d uint64
+		d ^= fnvhash.Int64(f(name+".EnterCost"), int64(m.EnterCost))
+		d ^= fnvhash.Int64(f(name+".ExitCost"), int64(m.ExitCost))
+		d ^= fnvhash.Int64(f(name+".PerOutputByte"), int64(m.PerOutputByte))
+		return d
+	}
+	var d uint64
+	d ^= fnvhash.Int64(f("Mode"), int64(a.cfg.Mode))
+	d ^= model("SyscallModel", a.cfg.SyscallModel)
+	d ^= model("LibModel", a.cfg.LibModel)
+	d ^= fnvhash.Bool(f("SkipTimingJob"), a.cfg.SkipTimingJob)
+	return d
+}
 
 func (a *fwAdapter) Attach(c *cluster.Cluster) framework.Session {
 	return &fwSession{fw: New(a.cfg), c: c}

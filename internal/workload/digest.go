@@ -1,0 +1,21 @@
+package workload
+
+// Stable fingerprinting of a Scale, used by the harness's content-addressed
+// leaf cache to key simulations by their inputs. The digest is
+// field-order-independent: each field is hashed into its own FNV-1a stream
+// seeded by the field name, and the streams are XOR-combined, so reordering
+// the struct (or the fold below) cannot silently change cache keys. Adding
+// a field DOES change every digest — which is exactly the invalidation we
+// want, since a new field means a new input dimension.
+
+import "iotaxo/internal/fnvhash"
+
+// Digest returns a stable, field-order-independent fingerprint of the
+// scale. Equal scales always produce equal digests across processes; the
+// value is pinned by tests to catch accidental cache-key drift.
+func (sc Scale) Digest() uint64 {
+	var d uint64
+	d ^= fnvhash.Int64(fnvhash.String(fnvhash.Offset64, "BlockSize"), sc.BlockSize)
+	d ^= fnvhash.Int64(fnvhash.String(fnvhash.Offset64, "PerRankBytes"), sc.PerRankBytes)
+	return d
+}

@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+// TestScaleDigestStable pins the smoke-scale digest (the value the harness
+// cache-key pinning test embeds) and checks the equality contract: equal
+// scales hash equal, any field change hashes different.
+func TestScaleDigestStable(t *testing.T) {
+	smoke := Scale{BlockSize: 256 << 10, PerRankBytes: 1 << 20}
+	const pinned = 0x0c6868357317be46
+	if got := smoke.Digest(); got != pinned {
+		t.Errorf("smoke Scale digest drifted: got %#016x, want %#016x (cache keys orphaned; bump the harness cacheSchema if deliberate)", got, pinned)
+	}
+	if smoke.Digest() != (Scale{BlockSize: 256 << 10, PerRankBytes: 1 << 20}).Digest() {
+		t.Error("equal scales must produce equal digests")
+	}
+	variants := []Scale{
+		{BlockSize: 256<<10 + 1, PerRankBytes: 1 << 20},
+		{BlockSize: 256 << 10, PerRankBytes: 1<<20 + 1},
+		// Swapped values must not collide: each field folds under its own
+		// name-seeded stream.
+		{BlockSize: 1 << 20, PerRankBytes: 256 << 10},
+	}
+	for _, v := range variants {
+		if v.Digest() == smoke.Digest() {
+			t.Errorf("scale %+v collides with the smoke scale digest", v)
+		}
+	}
+}
