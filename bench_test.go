@@ -313,6 +313,23 @@ func BenchmarkSim1024Ranks(b *testing.B) { benchSimRanks(b, 1024) }
 // in-flight message.
 func BenchmarkSim4096Ranks(b *testing.B) { benchSimRanks(b, 4096) }
 
+// BenchmarkSim16384Ranks is the ladder's CI smoke rung, reachable now that
+// the PFS servers and RAID arrays serve requests as pure event chains and
+// cluster construction draws ranks, interfaces, and mailboxes from
+// preallocated slabs.
+func BenchmarkSim16384Ranks(b *testing.B) { benchSimRanks(b, 16384) }
+
+// BenchmarkSim65536Ranks is the ladder's top: the rank regime modern
+// tracers target, two orders of magnitude past the paper's testbed.
+// Skipped in -short (CI's benchmark smoke) — roughly 40 s per iteration;
+// run it manually or via `tracebench -bench-ladder`.
+func BenchmarkSim65536Ranks(b *testing.B) {
+	if testing.Short() {
+		b.Skip("65536-rank rung skipped in -short mode")
+	}
+	benchSimRanks(b, 65536)
+}
+
 // BenchmarkServerSweep measures the storage-scaling engine on the smoke
 // ladder: the engine behind `tracebench -exp servers` and `iotaxo -exp
 // servers`. The key metric is the overhead gap between the 1-server and

@@ -55,7 +55,15 @@ func main() {
 	ranksPerNode := flag.Int("ranks-per-node", 1, "MPI ranks placed per compute node (placement axis)")
 	cacheDir := flag.String("cache-dir", harness.DefaultCacheDir(), "directory for the persisted simulation-result cache (empty = in-memory only)")
 	noCache := flag.Bool("no-cache", false, "disable the persisted simulation-result cache (in-run baseline sharing still applies)")
+	poolMem := flag.String("pool-mem", "", "memory budget for the simulation worker pool, e.g. 2GB or 512MB (empty = unlimited)")
 	flag.Parse()
+
+	if budget, err := harness.ParseMemBudget(*poolMem); err != nil {
+		fmt.Fprintf(os.Stderr, "iotaxo: %v\n", err)
+		os.Exit(2)
+	} else {
+		harness.SetPoolMemBudget(budget)
+	}
 
 	cache := resolveCache(*cacheDir, *noCache)
 

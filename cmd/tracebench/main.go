@@ -50,8 +50,21 @@ func main() {
 	cacheDir := flag.String("cache-dir", harness.DefaultCacheDir(), "directory for the persisted simulation-result cache (empty = in-memory only)")
 	noCache := flag.Bool("no-cache", false, "disable the persisted simulation-result cache (in-run baseline sharing still applies)")
 	benchJSON := flag.String("bench-json", "", "run the cold/warm cache benchmark and write the snapshot to this file, then exit (nonzero if warm output diverges)")
+	benchLadder := flag.String("bench-ladder", "", "run the rank-ladder benchmark (wall time + peak heap per rung up to -max-ranks, default 65536) and write the JSON snapshot to this file, then exit")
+	poolMem := flag.String("pool-mem", "", "memory budget for the simulation worker pool, e.g. 2GB or 512MB (empty = unlimited)")
 	flag.Parse()
 
+	if budget, err := harness.ParseMemBudget(*poolMem); err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+		os.Exit(2)
+	} else {
+		harness.SetPoolMemBudget(budget)
+	}
+
+	if *benchLadder != "" {
+		runBenchLadder(*benchLadder, *maxRanks)
+		return
+	}
 	if *benchJSON != "" {
 		runBench(*benchJSON)
 		return
@@ -252,6 +265,30 @@ func runBench(path string) {
 		fmt.Fprintln(os.Stderr, "tracebench: bench: warm sweep output diverged from cold sweep")
 		os.Exit(1)
 	}
+}
+
+// runBenchLadder measures the engine's rank-scaling trajectory: the
+// single-cell ladder timed rung by rung (wall time + peak heap), written as
+// the in-repo BENCH_ladder.json snapshot. maxRanks caps the top rung (0 =
+// the full 65536-rank ladder); CI runs the 16384 smoke.
+func runBenchLadder(path string, maxRanks int) {
+	if maxRanks <= 0 {
+		maxRanks = 65536
+	}
+	snap, err := harness.BenchLadder(maxRanks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench-ladder: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, []byte(snap.JSON()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench-ladder: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range snap.Rungs {
+		fmt.Fprintf(os.Stderr, "# ladder: %6d ranks  %9.0f ms  heap peak %7.1f MB\n", r.Ranks, r.WallMS, r.PeakHeapMB)
+	}
+	fmt.Fprintf(os.Stderr, "# ladder: %d rungs (%s on %s, %s scaling) -> %s\n",
+		len(snap.Rungs), snap.Framework, snap.Workload, snap.Mode, path)
 }
 
 func emitFigure(fig harness.FigureResult, csv bool) {

@@ -96,6 +96,35 @@ func (d *Disk) access(p *sim.Proc, pos, length int64, write bool) error {
 	return nil
 }
 
+// accessThen is the event-chain twin of access: the same transfer performed
+// without a process, calling done(err) when the head releases. The cost
+// (including the seek decision against nextSeq) is computed at call time —
+// before the head is acquired — exactly as access computes it before
+// HoldFor, so chained and process-driven accesses contending for one head
+// produce identical schedules.
+func (d *Disk) accessThen(pos, length int64, write bool, done func(error)) {
+	if d.failed {
+		done(ErrFailed)
+		return
+	}
+	cost := d.cfg.PerOp
+	if pos != d.nextSeq {
+		cost += d.cfg.Seek
+		d.Seeks++
+	}
+	cost += sim.DurationOf(length, d.cfg.BandwidthBps)
+	d.head.HoldForThen(cost, func() {
+		d.nextSeq = pos + length
+		d.Ops++
+		if write {
+			d.BytesWritten += length
+		} else {
+			d.BytesRead += length
+		}
+		done(nil)
+	})
+}
+
 // Read transfers length bytes starting at pos from the drive.
 func (d *Disk) Read(p *sim.Proc, pos, length int64) error {
 	return d.access(p, pos, length, false)
@@ -104,6 +133,18 @@ func (d *Disk) Read(p *sim.Proc, pos, length int64) error {
 // Write transfers length bytes starting at pos to the drive.
 func (d *Disk) Write(p *sim.Proc, pos, length int64) error {
 	return d.access(p, pos, length, true)
+}
+
+// ReadThen transfers length bytes starting at pos from the drive as a pure
+// event chain, calling done(err) on completion.
+func (d *Disk) ReadThen(pos, length int64, done func(error)) {
+	d.accessThen(pos, length, false, done)
+}
+
+// WriteThen transfers length bytes starting at pos to the drive as a pure
+// event chain, calling done(err) on completion.
+func (d *Disk) WriteThen(pos, length int64, done func(error)) {
+	d.accessThen(pos, length, true, done)
 }
 
 // ArrayConfig describes a RAID-5 group.
@@ -298,6 +339,37 @@ func (a *Array) degradeReads(ops []unitOp) []unitOp {
 	return out
 }
 
+// ReadThen is the event-chain twin of Read: the same degraded-mode planning
+// and parallel member transfers, driven entirely by scheduled events, with
+// done(err) called when the slowest drive finishes.
+func (a *Array) ReadThen(off, length int64, done func(error)) {
+	if err := a.checkHealth(); err != nil && errors.Is(err, ErrFailed) {
+		done(err)
+		return
+	}
+	ops := a.Layout(off, length)
+	degraded := a.failedCount() == 1
+	if degraded {
+		ops = a.degradeReads(ops)
+	}
+	a.executeThen(ops, done)
+}
+
+// WriteThen is the event-chain twin of Write, including parity and
+// read-modify-write traffic.
+func (a *Array) WriteThen(off, length int64, done func(error)) {
+	if err := a.checkHealth(); err != nil {
+		done(err)
+		return
+	}
+	ops := a.Layout(off, length)
+	for i := range ops {
+		ops[i].write = true
+	}
+	ops = append(ops, a.parityOps(off, length)...)
+	a.executeThen(ops, done)
+}
+
 // execute groups planned ops per drive and runs the drives in parallel.
 func (a *Array) execute(p *sim.Proc, ops []unitOp) error {
 	perDisk := make(map[int][]unitOp)
@@ -328,6 +400,70 @@ func (a *Array) execute(p *sim.Proc, ops []unitOp) error {
 	}
 	sim.ForkJoin(p, "raid.io", fns...)
 	return firstErr
+}
+
+// executeThen is the event-chain twin of execute: one event chain per busy
+// member drive instead of one forked process, joined by a counter. The event
+// accounting mirrors ForkJoin exactly — one scheduled kickoff event per
+// drive batch in drive-index order (where ForkJoin scheduled one spawn
+// dispatch per child), then one completion event from the last batch (where
+// the last Done scheduled the parent's wake) — so chained and process-driven
+// array calls produce identical schedules. Errors are recorded per operation
+// as they surface, matching the shared firstErr the forked children wrote.
+func (a *Array) executeThen(ops []unitOp, done func(error)) {
+	perDisk := make(map[int][]unitOp)
+	for _, op := range ops {
+		perDisk[op.disk] = append(perDisk[op.disk], op)
+	}
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	remaining := 0
+	for idx := 0; idx < a.cfg.Disks; idx++ {
+		if len(perDisk[idx]) > 0 {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		done(nil)
+		return
+	}
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			a.env.After(0, func() { done(firstErr) })
+		}
+	}
+	for idx := 0; idx < a.cfg.Disks; idx++ {
+		batch := perDisk[idx]
+		if len(batch) == 0 {
+			continue
+		}
+		d := a.disks[idx]
+		a.env.After(0, func() { a.runBatchThen(d, batch, record, finish) })
+	}
+}
+
+// runBatchThen runs one drive's planned ops serially as an event chain,
+// recording each error as it surfaces and calling done when the batch
+// completes — the chained mirror of one forked raid.io child.
+func (a *Array) runBatchThen(d *Disk, batch []unitOp, record func(error), done func()) {
+	var step func(i int)
+	step = func(i int) {
+		if i == len(batch) {
+			done()
+			return
+		}
+		op := batch[i]
+		d.accessThen(op.pos, op.length, op.write, func(err error) {
+			record(err)
+			step(i + 1)
+		})
+	}
+	step(0)
 }
 
 // failedCount reports the number of failed member drives.

@@ -12,6 +12,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"iotaxo/internal/framework"
+	"iotaxo/internal/workload"
 )
 
 // BenchPhase is one timed pass of the bench sweep.
@@ -97,4 +100,113 @@ func BenchSweep() (BenchSnapshot, error) {
 		PeakConcurrency: cold.Stats.PeakConcurrency,
 		Identical:       cold.Format() == warm.Format() && warm.Stats.Executed == 0,
 	}, nil
+}
+
+// BenchLadderMinRanks is the ladder benchmark's base rung: where the
+// fully-eventized engine's scaling story starts (the paper's own curves
+// stop well below it).
+const BenchLadderMinRanks = 512
+
+// BenchRung is one rank-count rung of the ladder benchmark: one untraced
+// plus one traced single-cell simulation, timed uncached.
+type BenchRung struct {
+	Ranks  int     `json:"ranks"`
+	WallMS float64 `json:"wall_ms"`
+	// PeakHeapMB is the scheduler-sampled heap high-water (HeapAlloc, MiB)
+	// while this rung's two simulations ran.
+	PeakHeapMB float64 `json:"peak_heap_mb"`
+}
+
+// BenchLadderSnapshot is one BENCH_ladder.json record: the single-cell
+// scaling ladder timed rung by rung with heap watermarks. It is the resource
+// trajectory of the eventized engine — wall time and peak heap per rung —
+// committed beside BENCH_sweep.json so rank-scaling regressions show up in
+// review diffs.
+type BenchLadderSnapshot struct {
+	Schema       int         `json:"schema"`
+	Experiment   string      `json:"experiment"`
+	Framework    string      `json:"framework"`
+	Workload     string      `json:"workload"`
+	Mode         string      `json:"mode"`
+	PerRankBytes int64       `json:"per_rank_bytes"`
+	PoolSize     int         `json:"pool_size"`
+	Rungs        []BenchRung `json:"rungs"`
+}
+
+// JSON renders the snapshot, indented, newline-terminated.
+func (s BenchLadderSnapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot fail
+	}
+	return string(b) + "\n"
+}
+
+// BenchLadder times one single-cell (one framework, one workload) rung at
+// each rank count doubling from BenchLadderMinRanks to maxRanks, uncached,
+// and reports wall time plus the scheduler's heap high-water per rung. The
+// cell is the paper's own — LANL-Trace on the N-1 strided pattern, weak
+// scaling — at one block per rank: the ladder tracks the engine's per-rank
+// fixed costs (construction, messaging, scheduling, tracing), which data
+// volume would only dilute, and one block keeps the 65536-rank rung
+// minutes, not hours.
+func BenchLadder(maxRanks int) (BenchLadderSnapshot, error) {
+	if maxRanks < BenchLadderMinRanks {
+		maxRanks = BenchLadderMinRanks
+	}
+	o := ScaleOptions()
+	o.PerRankBytes = o.scaleBlock()
+	o.Cache = NewCache("")
+	fw := benchFramework()
+	w := workload.PatternWorkload(workload.N1Strided)
+	snap := BenchLadderSnapshot{
+		Schema:       cacheSchema,
+		Experiment:   "scale-ladder",
+		Framework:    fw.Name(),
+		Workload:     w.Name(),
+		Mode:         o.ScaleMode.String(),
+		PerRankBytes: o.PerRankBytes,
+		PoolSize:     PoolSize(),
+	}
+	for _, ranks := range doublingLadder(BenchLadderMinRanks, maxRanks) {
+		sched.resetPeak()
+		start := time.Now()
+		if err := benchRung(o, fw, w, ranks); err != nil {
+			return snap, fmt.Errorf("rung %d: %w", ranks, err)
+		}
+		snap.Rungs = append(snap.Rungs, BenchRung{
+			Ranks:      ranks,
+			WallMS:     float64(time.Since(start).Microseconds()) / 1e3,
+			PeakHeapMB: float64(sched.peakHeapBytes()) / (1 << 20),
+		})
+	}
+	return snap, nil
+}
+
+// benchRung runs one rung's untraced baseline and traced measurement
+// through the shared scheduler, uncached.
+func benchRung(o Options, fw framework.Framework, w workload.Workload, ranks int) error {
+	runs := newSweepRuns(1)
+	ts := newTaskSet(o.cacheOrEphemeral())
+	ro := o
+	ro.Ranks = ranks
+	sc := o.scaleRung(ranks)
+	ts.untraced(ro, w, sc, &runs.uns[0])
+	ts.traced(ro, fw, w, sc,
+		fmt.Sprintf("%s, %s, ranks %d", fw.Name(), w.Name(), ranks),
+		&runs.reps[0], &runs.errs[0])
+	ts.run()
+	return runs.errs[0]
+}
+
+// benchFramework picks the ladder cell's framework: the paper's LANL-Trace,
+// falling back to the registry's first entry.
+func benchFramework() framework.Framework {
+	all := framework.All()
+	for _, fw := range all {
+		if fw.Name() == "LANL-Trace" {
+			return fw
+		}
+	}
+	return all[0]
 }

@@ -336,12 +336,34 @@ type SweepStats struct {
 	PeakConcurrency int
 	// PoolSize is the scheduler's concurrency bound.
 	PoolSize int
+	// PeakHeapBytes is the process heap high-water (HeapAlloc) sampled by
+	// the scheduler while this call's tasks ran.
+	PeakHeapBytes uint64
+	// MemBudget is the pool's memory budget in bytes (0 = unlimited).
+	MemBudget int64
 }
 
 // Footer renders the one-line accounting summary the CLIs print to stderr.
 func (s SweepStats) Footer() string {
-	return fmt.Sprintf("# simulations: %d executed, %d shared baselines, %d cached (%d memory, %d disk); scheduler peak %d/%d",
-		s.Executed, s.Shared, s.Hits(), s.MemHits, s.DiskHits, s.PeakConcurrency, s.PoolSize)
+	f := fmt.Sprintf("# simulations: %d executed, %d shared baselines, %d cached (%d memory, %d disk); scheduler peak %d/%d; heap peak %s",
+		s.Executed, s.Shared, s.Hits(), s.MemHits, s.DiskHits, s.PeakConcurrency, s.PoolSize, fmtBytes(s.PeakHeapBytes))
+	if s.MemBudget > 0 {
+		f += fmt.Sprintf(" of %s budget", fmtBytes(uint64(s.MemBudget)))
+	}
+	return f
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix for the footer.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
 }
 
 // sweepStatsSince folds the cache delta since before with the scheduler
@@ -351,5 +373,7 @@ func sweepStatsSince(c *Cache, before CacheStats) SweepStats {
 		CacheStats:      c.Stats().sub(before),
 		PeakConcurrency: sched.peakConcurrency(),
 		PoolSize:        sched.size(),
+		PeakHeapBytes:   sched.peakHeapBytes(),
+		MemBudget:       sched.memBudgetBytes(),
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that this test binary was built with -race: the
+// ladder-scale determinism test caps its top rung accordingly, since the
+// race detector multiplies a 4096-rank sweep's wall time past CI budgets.
+const raceEnabled = true

@@ -127,7 +127,7 @@ func (r *Rank) Wtime(p *sim.Proc) sim.Time {
 
 // sendRaw transmits without tracing (internal transport for collectives).
 func (r *Rank) sendRaw(p *sim.Proc, dest, tag int, bytes int64, data any) {
-	dst := r.world.ranks[dest]
+	dst := &r.world.ranks[dest]
 	r.world.net.Send(p, netsim.Message{
 		From: r.node,
 		To:   dst.node,

@@ -10,8 +10,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
 	"iotaxo/internal/trace"
@@ -29,11 +27,13 @@ type LibHook interface {
 	Exit(p *sim.Proc, rec *trace.Record)
 }
 
-// World is an MPI job: a set of ranks bound to node kernels.
+// World is an MPI job: a set of ranks bound to node kernels. Ranks live in
+// one contiguous slab (65536-rank worlds allocate one array, not 65536
+// objects); they are addressed by pointer into it and never copied.
 type World struct {
 	env     *sim.Env
 	net     *netsim.Network
-	ranks   []*Rank
+	ranks   []Rank
 	started bool
 
 	// FinishedAt records each rank's completion time of the last Launch.
@@ -44,17 +44,17 @@ type World struct {
 // may appear multiple times to place several ranks on one node.
 func NewWorld(net_ *netsim.Network, kernels []*vfs.Kernel) *World {
 	w := &World{env: net_.Env(), net: net_}
+	w.ranks = make([]Rank, len(kernels))
 	for i, k := range kernels {
 		pc := k.Spawn(vfs.Cred{UID: 500, GID: 500, User: "mpiuser"})
 		pc.SetRank(i)
-		r := &Rank{
+		w.ranks[i] = Rank{
 			world: w,
 			rank:  i,
 			node:  k.Node(),
 			pc:    pc,
 			inbox: net_.Listen(k.Node(), PortBase+i),
 		}
-		w.ranks = append(w.ranks, r)
 	}
 	w.FinishedAt = make([]sim.Time, len(kernels))
 	return w
@@ -64,7 +64,7 @@ func NewWorld(net_ *netsim.Network, kernels []*vfs.Kernel) *World {
 func (w *World) Size() int { return len(w.ranks) }
 
 // Rank returns rank i.
-func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+func (w *World) Rank(i int) *Rank { return &w.ranks[i] }
 
 // Env returns the simulation environment.
 func (w *World) Env() *sim.Env { return w.env }
@@ -76,9 +76,12 @@ func (w *World) Launch(program func(p *sim.Proc, r *Rank)) *sim.Latch {
 	done := sim.NewLatch(w.env)
 	wg := sim.NewWaitGroup(w.env)
 	wg.Add(len(w.ranks))
-	for _, r := range w.ranks {
-		r := r
-		w.env.Go(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+	for i := range w.ranks {
+		r := &w.ranks[i]
+		// All ranks share one spawn name: per-rank identity lives in the
+		// process context (pid/rank), and a shared literal keeps Launch free
+		// of per-rank Sprintf allocations at 65536 ranks.
+		w.env.Go("mpi.rank", func(p *sim.Proc) {
 			program(p, r)
 			w.FinishedAt[r.rank] = p.Now()
 			wg.Done()

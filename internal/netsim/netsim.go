@@ -47,11 +47,17 @@ type Message struct {
 	Payload any
 }
 
-// Iface is one node's network interface.
+// Iface is one node's network interface. The tx/rx resources are embedded
+// by value (slab-friendly: a 65536-node network allocates interfaces in
+// large chunks instead of three objects per node) and the node's listening
+// ports live in a small inline table — nodes listen on one or two ports
+// (the PFS service port, one MPI rank port), so a linear scan beats a
+// per-node map.
 type Iface struct {
-	name string
-	tx   *sim.Resource
-	rx   *sim.Resource
+	name  string
+	tx    sim.Resource
+	rx    sim.Resource
+	ports []portEntry
 
 	// Stats, observable by analysis tooling.
 	BytesSent     int64
@@ -60,12 +66,38 @@ type Iface struct {
 	MsgsReceived  int64
 }
 
+// portEntry binds one listening port to its mailbox.
+type portEntry struct {
+	port int
+	box  *sim.Mailbox[Message]
+}
+
+// box returns the mailbox listening on port, or nil.
+func (i *Iface) box(port int) *sim.Mailbox[Message] {
+	for _, e := range i.ports {
+		if e.port == port {
+			return e.box
+		}
+	}
+	return nil
+}
+
+// arenaChunk is the slab size for interface and mailbox arenas: large
+// enough to amortize allocation at 65536 nodes, small enough not to waste
+// memory on unit-test networks.
+const arenaChunk = 256
+
 // Network connects named nodes through a single switch.
 type Network struct {
 	env    *sim.Env
 	cfg    Config
 	ifaces map[string]*Iface
-	ports  map[string]map[int]*sim.Mailbox[Message]
+
+	// Construction arenas: interfaces and mailboxes are handed out from
+	// chunked slabs (pointers into a chunk stay valid because a chunk is
+	// never grown, only replaced when full).
+	ifaceArena []Iface
+	boxArena   []sim.Mailbox[Message]
 }
 
 // New returns an empty network with the given configuration.
@@ -77,7 +109,6 @@ func New(env *sim.Env, cfg Config) *Network {
 		env:    env,
 		cfg:    cfg,
 		ifaces: make(map[string]*Iface),
-		ports:  make(map[string]map[int]*sim.Mailbox[Message]),
 	}
 }
 
@@ -93,13 +124,14 @@ func (n *Network) AddNode(name string) *Iface {
 	if _, dup := n.ifaces[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate node %q", name))
 	}
-	ifc := &Iface{
-		name: name,
-		tx:   sim.NewResource(n.env, 1),
-		rx:   sim.NewResource(n.env, 1),
+	if len(n.ifaceArena) == cap(n.ifaceArena) {
+		n.ifaceArena = make([]Iface, 0, arenaChunk)
 	}
+	n.ifaceArena = append(n.ifaceArena, Iface{name: name})
+	ifc := &n.ifaceArena[len(n.ifaceArena)-1]
+	ifc.tx.Init(n.env, 1)
+	ifc.rx.Init(n.env, 1)
 	n.ifaces[name] = ifc
-	n.ports[name] = make(map[int]*sim.Mailbox[Message])
 	return ifc
 }
 
@@ -115,14 +147,20 @@ func (n *Network) Iface(name string) *Iface {
 // Listen returns (creating if needed) the mailbox for (node, port). Layered
 // protocols — the parallel file system, MPI — each claim a port.
 func (n *Network) Listen(node string, port int) *sim.Mailbox[Message] {
-	if _, ok := n.ifaces[node]; !ok {
+	ifc, ok := n.ifaces[node]
+	if !ok {
 		panic(fmt.Sprintf("netsim: Listen on unknown node %q", node))
 	}
-	mb, ok := n.ports[node][port]
-	if !ok {
-		mb = sim.NewMailbox[Message](n.env)
-		n.ports[node][port] = mb
+	if mb := ifc.box(port); mb != nil {
+		return mb
 	}
+	if len(n.boxArena) == cap(n.boxArena) {
+		n.boxArena = make([]sim.Mailbox[Message], 0, arenaChunk)
+	}
+	n.boxArena = append(n.boxArena, sim.Mailbox[Message]{})
+	mb := &n.boxArena[len(n.boxArena)-1]
+	mb.Init(n.env)
+	ifc.ports = append(ifc.ports, portEntry{port: port, box: mb})
 	return mb
 }
 
@@ -160,8 +198,8 @@ func (n *Network) TransferTime(payload int64) sim.Duration {
 func (n *Network) Send(p *sim.Proc, msg Message) {
 	src := n.Iface(msg.From)
 	dst := n.Iface(msg.To)
-	dstBox, ok := n.ports[msg.To][msg.Port]
-	if !ok {
+	dstBox := dst.box(msg.Port)
+	if dstBox == nil {
 		panic(fmt.Sprintf("netsim: send to %s:%d with no listener", msg.To, msg.Port))
 	}
 	wire := n.wireBytes(msg.Size)
@@ -170,6 +208,32 @@ func (n *Network) Send(p *sim.Proc, msg Message) {
 	src.BytesSent += wire
 	src.MsgsSent++
 	n.deliver(dst, dstBox, msg, wire)
+}
+
+// SendThen transmits msg as a pure event chain, calling done when the
+// sender-side cost is paid (the point at which a process calling Send would
+// resume). The event sequencing mirrors Send hop for hop — per-message CPU
+// as one scheduled event (where Send's caller slept), transmit serialization
+// on the source tx resource, sender stats, then the shared asynchronous
+// delivery chain — so chained and process-driven sends contending for one
+// NIC produce identical schedules. No goroutine or process is involved at
+// any point.
+func (n *Network) SendThen(msg Message, done func()) {
+	src := n.Iface(msg.From)
+	dst := n.Iface(msg.To)
+	dstBox := dst.box(msg.Port)
+	if dstBox == nil {
+		panic(fmt.Sprintf("netsim: send to %s:%d with no listener", msg.To, msg.Port))
+	}
+	wire := n.wireBytes(msg.Size)
+	n.env.After(n.cfg.PerMessageCPU, func() {
+		src.tx.HoldForThen(sim.DurationOf(wire, n.cfg.BandwidthBps), func() {
+			src.BytesSent += wire
+			src.MsgsSent++
+			n.deliver(dst, dstBox, msg, wire)
+			done()
+		})
+	})
 }
 
 // deliver runs the asynchronous half of a transfer — switch latency, receive
@@ -213,6 +277,18 @@ func (n *Network) Call(p *sim.Proc, from, to string, port int, reqSize int64, re
 	return resp.Payload
 }
 
+// CallThen performs the request/response exchange of Call as a pure event
+// chain: done receives the reply payload at the instant a process blocked in
+// Call would resume. The private reply mailbox is consumed with GetThen, so
+// no process parks anywhere on the path.
+func (n *Network) CallThen(from, to string, port int, reqSize int64, req any, done func(resp any)) {
+	reply := sim.NewMailbox[Message](n.env)
+	n.SendThen(Message{From: from, To: to, Port: port, Size: reqSize,
+		Payload: rpc{Req: req, Reply: reply}}, func() {
+		reply.GetThen(func(m Message) { done(m.Payload) })
+	})
+}
+
 // ServeRequest unwraps a message received by a server loop. If the message
 // was produced by Call, it returns the inner request and a respond function
 // that sends respSize payload bytes back to the caller; otherwise respond is
@@ -236,6 +312,34 @@ func (n *Network) ServeRequest(server string, msg Message) (req any, respond fun
 		src.BytesSent += wire
 		src.MsgsSent++
 		n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp}, wire)
+	}
+}
+
+// ServeRequestThen is the event-chain twin of ServeRequest, for server loops
+// that run without a process. The returned respond function transmits the
+// response as a pure event chain and calls done at the instant a process
+// calling the blocking respond would have resumed (after paying per-message
+// CPU and tx serialization); the server's release of per-request state (a
+// worker-pool unit, the next dispatch) chains off done.
+func (n *Network) ServeRequestThen(server string, msg Message) (req any, respond func(respSize int64, resp any, done func())) {
+	call, ok := msg.Payload.(rpc)
+	if !ok {
+		return msg.Payload, nil
+	}
+	reply := call.Reply
+	from := msg.From
+	return call.Req, func(respSize int64, resp any, done func()) {
+		src := n.Iface(server)
+		dst := n.Iface(from)
+		wire := n.wireBytes(respSize)
+		n.env.After(n.cfg.PerMessageCPU, func() {
+			src.tx.HoldForThen(sim.DurationOf(wire, n.cfg.BandwidthBps), func() {
+				src.BytesSent += wire
+				src.MsgsSent++
+				n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp}, wire)
+				done()
+			})
+		})
 	}
 }
 

@@ -247,7 +247,7 @@ func TestDeliverySpawnsNoProcs(t *testing.T) {
 func courierSend(n *Network, p *sim.Proc, msg Message) {
 	src := n.Iface(msg.From)
 	dst := n.Iface(msg.To)
-	dstBox := n.ports[msg.To][msg.Port]
+	dstBox := dst.box(msg.Port)
 	wire := n.wireBytes(msg.Size)
 	p.Sleep(n.cfg.PerMessageCPU)
 	src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))

@@ -59,15 +59,20 @@ func (c *Client) Open(p *sim.Proc, path string, flags vfs.OpenFlag, mode int, cr
 		return nil, err
 	}
 	if flags&vfs.OTrunc != 0 && flags.CanWrite() {
-		// Truncation invalidates every server's object state.
-		var fns []func(*sim.Proc)
+		// Truncation invalidates every server's object state. One event
+		// chain per server instead of a forked process (the kickoff events
+		// below occupy the same schedule slots the "pfs.trunc" spawn
+		// dispatches did); the caller parks until every server confirmed.
+		wg := sim.NewWaitGroup(c.sys.env)
 		for i := 0; i < c.sys.cfg.Servers; i++ {
 			node := c.sys.ServerNode(i)
-			fns = append(fns, func(w *sim.Proc) {
-				c.sys.net.Call(w, c.node, node, Port, reqHeader, truncReq{Path: path})
+			wg.Add(1)
+			c.sys.env.After(0, func() {
+				c.sys.net.CallThen(c.node, node, Port, reqHeader,
+					truncReq{Path: path}, func(any) { wg.Done() })
 			})
 		}
-		sim.ForkJoin(p, "pfs.trunc", fns...)
+		wg.Wait(p)
 		resp.Size = 0
 	}
 	return &clientFile{
@@ -118,13 +123,18 @@ type clientFile struct {
 }
 
 // transfer fans one logical range out to the owning servers and waits for
-// all of them (one RPC per server, physically-adjacent units batched).
+// all of them (one RPC per server, physically-adjacent units batched). Each
+// RPC is a pure event chain — the retired engine forked one "pfs.io"
+// process per server per call, the single largest source of goroutine churn
+// in the simulator. The kickoff events below take the schedule slots those
+// spawn dispatches occupied and the responses accumulate in arrival order,
+// so the schedule (and firstErr selection) is identical.
 func (f *clientFile) transfer(p *sim.Proc, offset, length int64, write bool) (int64, error) {
 	sys := f.client.sys
 	grouped := coalesce(sys.mapRange(offset, length))
 	var total int64
 	var firstErr error
-	var fns []func(*sim.Proc)
+	wg := sim.NewWaitGroup(sys.env)
 	for srv := 0; srv < sys.cfg.Servers; srv++ {
 		ranges := grouped[srv]
 		if len(ranges) == 0 {
@@ -139,23 +149,26 @@ func (f *clientFile) transfer(p *sim.Proc, offset, length int64, write bool) (in
 		if write {
 			reqSize += bytes // write data travels with the request
 		}
-		fns = append(fns, func(w *sim.Proc) {
-			raw := sys.net.Call(w, f.client.node, node, Port, reqSize,
-				ioReq{Path: f.path, Ranges: ranges, Write: write})
-			resp, ok := raw.(ioResp)
-			if !ok {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("pfs: bad io response %T", raw)
-				}
-				return
-			}
-			if resp.Err != "" && firstErr == nil {
-				firstErr = fmt.Errorf("pfs: %s", resp.Err)
-			}
-			total += resp.N
+		wg.Add(1)
+		sys.env.After(0, func() {
+			sys.net.CallThen(f.client.node, node, Port, reqSize,
+				ioReq{Path: f.path, Ranges: ranges, Write: write}, func(raw any) {
+					defer wg.Done()
+					resp, ok := raw.(ioResp)
+					if !ok {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("pfs: bad io response %T", raw)
+						}
+						return
+					}
+					if resp.Err != "" && firstErr == nil {
+						firstErr = fmt.Errorf("pfs: %s", resp.Err)
+					}
+					total += resp.N
+				})
 		})
 	}
-	sim.ForkJoin(p, "pfs.io", fns...)
+	wg.Wait(p)
 	return total, firstErr
 }
 

@@ -35,73 +35,104 @@ func newMetaServer(sys *System) *metaServer {
 	}
 }
 
-func (m *metaServer) start() {
-	m.sys.env.Go(m.sys.mdsNode+".serve", func(p *sim.Proc) {
-		for {
-			msg := m.inbox.Get(p)
-			m.Requests++
-			raw, respond := m.sys.net.ServeRequest(m.sys.mdsNode, msg)
-			req, ok := raw.(metaReq)
-			if !ok {
-				respond(p, reqHeader, metaResp{Err: "pfs: bad metadata request"})
-				continue
-			}
-			resp := m.handle(p, req)
-			respond(p, reqHeader, resp)
+// start arms the event-driven serve chain. Like the data servers, the
+// metadata server runs with zero processes (the retired engine kept one
+// permanent ".serve" loop): requests are received by a re-arming GetThen and
+// handled as an event chain. Service stays strictly serial — the next
+// request is accepted only after the current response has fully left the
+// NIC, exactly where the retired serve loop cycled back into Get.
+func (m *metaServer) start() { m.armServe() }
+
+func (m *metaServer) armServe() {
+	m.inbox.GetThen(func(msg netsim.Message) {
+		m.Requests++
+		raw, respond := m.sys.net.ServeRequestThen(m.sys.mdsNode, msg)
+		req, ok := raw.(metaReq)
+		if !ok {
+			respond(reqHeader, metaResp{Err: "pfs: bad metadata request"}, m.armServe)
+			return
 		}
+		m.handleThen(req, func(resp metaResp) {
+			respond(reqHeader, resp, m.armServe)
+		})
 	})
 }
 
 const oCreate = 0x40 // mirrors vfs.OCreate without importing it
 const oTrunc = 0x200
 
-func (m *metaServer) handle(p *sim.Proc, req metaReq) metaResp {
-	p.Sleep(m.sys.cfg.MetaCost)
-	switch req.Op {
-	case "open":
-		f, ok := m.files[req.Path]
-		if !ok {
-			if req.Flags&oCreate == 0 {
-				return metaResp{Err: "ENOENT"}
-			}
-			f = &metaFile{uid: req.UID, gid: req.GID, mode: req.Mode}
-			m.files[req.Path] = f
-			m.journalWrite(p)
-		}
-		if req.Flags&oTrunc != 0 {
-			f.size = 0
-			m.journalWrite(p)
-		}
-		return metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode}
-	case "stat":
-		f, ok := m.files[req.Path]
-		if !ok {
-			return metaResp{Err: "ENOENT"}
-		}
-		return metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode}
-	case "unlink":
-		if _, ok := m.files[req.Path]; !ok {
-			return metaResp{Err: "ENOENT"}
-		}
-		delete(m.files, req.Path)
-		m.journalWrite(p)
-		return metaResp{}
-	case "setsize":
-		f, ok := m.files[req.Path]
-		if !ok {
-			return metaResp{Err: "ENOENT"}
-		}
-		if req.Size > f.size {
-			f.size = req.Size
-		}
-		return metaResp{Size: f.size}
-	default:
-		return metaResp{Err: "pfs: unknown metadata op " + req.Op}
+// handleThen services one metadata request as an event chain: the fixed
+// CPU cost first (one scheduled event, where the retired handler slept),
+// then the namespace mutation with journal writes chained through the
+// journal disk.
+func (m *metaServer) handleThen(req metaReq, done func(metaResp)) {
+	cost := m.sys.cfg.MetaCost
+	if cost < 0 {
+		cost = 0 // mirror Sleep's clamp
 	}
+	m.sys.env.After(cost, func() {
+		switch req.Op {
+		case "open":
+			f, ok := m.files[req.Path]
+			finish := func() {
+				if req.Flags&oTrunc != 0 {
+					f.size = 0
+					m.journalWriteThen(func() {
+						done(metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode})
+					})
+					return
+				}
+				done(metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode})
+			}
+			if !ok {
+				if req.Flags&oCreate == 0 {
+					done(metaResp{Err: "ENOENT"})
+					return
+				}
+				f = &metaFile{uid: req.UID, gid: req.GID, mode: req.Mode}
+				m.files[req.Path] = f
+				m.journalWriteThen(finish)
+				return
+			}
+			finish()
+		case "stat":
+			f, ok := m.files[req.Path]
+			if !ok {
+				done(metaResp{Err: "ENOENT"})
+				return
+			}
+			done(metaResp{Size: f.size, UID: f.uid, GID: f.gid, Mode: f.mode})
+		case "unlink":
+			if _, ok := m.files[req.Path]; !ok {
+				done(metaResp{Err: "ENOENT"})
+				return
+			}
+			delete(m.files, req.Path)
+			m.journalWriteThen(func() { done(metaResp{}) })
+		case "setsize":
+			f, ok := m.files[req.Path]
+			if !ok {
+				done(metaResp{Err: "ENOENT"})
+				return
+			}
+			if req.Size > f.size {
+				f.size = req.Size
+			}
+			done(metaResp{Size: f.size})
+		default:
+			done(metaResp{Err: "pfs: unknown metadata op " + req.Op})
+		}
+	})
 }
 
-// journalWrite appends a journal record for a namespace mutation.
-func (m *metaServer) journalWrite(p *sim.Proc) {
-	m.journal.Write(p, m.jpos, 4096)
-	m.jpos += 4096
+// journalWriteThen appends a journal record for a namespace mutation,
+// calling done when the write leaves the journal disk. As in the retired
+// blocking version, the journal position advances after the write completes
+// and write errors are ignored (the journal disk never fails in these
+// simulations).
+func (m *metaServer) journalWriteThen(done func()) {
+	m.journal.WriteThen(m.jpos, 4096, func(error) {
+		m.jpos += 4096
+		done()
+	})
 }

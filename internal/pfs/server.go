@@ -79,44 +79,67 @@ func newServer(sys *System, idx int) *server {
 	}
 }
 
-// start launches the dispatch loop.
-func (s *server) start() {
-	s.sys.env.Go(s.node+".dispatch", func(p *sim.Proc) {
-		for {
-			msg := s.inbox.Get(p)
-			s.Requests++
-			req, respond := s.sys.net.ServeRequest(s.node, msg)
-			s.sys.env.Go(s.node+".worker", func(w *sim.Proc) {
-				s.pool.Acquire(w)
-				defer s.pool.Release()
-				s.handle(w, req, respond)
+// start arms the event-driven dispatch chain. The server runs with zero
+// processes: requests are received by a re-arming GetThen on the inbox,
+// admitted through the handler pool with AcquireThen, and handled as pure
+// event chains — no goroutine is created per request (the retired engine
+// forked one short-lived ".worker" process per message, plus a permanent
+// ".dispatch" loop).
+//
+// The event sequencing mirrors the retired process engine exactly: the
+// GetThen callback fires where the dispatch process woke, the After(0)
+// kickoff below occupies the slot of the worker's spawn-dispatch event, and
+// AcquireThen queues on the same FIFO the worker's Acquire parked on — so
+// simulated timestamps are byte-identical while goroutine churn drops to
+// zero.
+func (s *server) start() { s.armDispatch() }
+
+// armDispatch registers the next-request callback. Re-arming from inside the
+// callback mirrors the dispatch loop cycling back into Get, including
+// consuming a burst of queued messages within one wake.
+func (s *server) armDispatch() {
+	s.inbox.GetThen(func(msg netsim.Message) {
+		s.Requests++
+		req, respond := s.sys.net.ServeRequestThen(s.node, msg)
+		s.sys.env.After(0, func() {
+			s.pool.AcquireThen(func() {
+				s.handleThen(req, respond, s.pool.Release)
 			})
-		}
+		})
+		s.armDispatch()
 	})
 }
 
-func (s *server) handle(p *sim.Proc, req any, respond func(*sim.Proc, int64, any)) {
+// handleThen services one request while holding a pool unit; done releases
+// it once the response has fully left the server's NIC (the same point the
+// retired worker's deferred Release ran).
+func (s *server) handleThen(req any, respond func(int64, any, func()), done func()) {
 	switch r := req.(type) {
 	case ioReq:
-		n, err := s.handleIO(p, r)
-		resp := ioResp{N: n}
-		if err != nil {
-			resp.Err = err.Error()
-		}
-		respSize := int64(reqHeader)
-		if !r.Write {
-			respSize += n // read data travels back
-		}
-		respond(p, respSize, resp)
+		s.handleIOThen(r, func(n int64, err error) {
+			resp := ioResp{N: n}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			respSize := int64(reqHeader)
+			if !r.Write {
+				respSize += n // read data travels back
+			}
+			respond(respSize, resp, done)
+		})
 	case truncReq:
 		delete(s.objects, r.Path)
-		respond(p, reqHeader, ioResp{})
+		respond(reqHeader, ioResp{}, done)
 	default:
-		respond(p, reqHeader, ioResp{Err: "pfs: bad request"})
+		respond(reqHeader, ioResp{Err: "pfs: bad request"}, done)
 	}
 }
 
-func (s *server) handleIO(p *sim.Proc, r ioReq) (int64, error) {
+// handleIOThen runs the per-range transfers serially as an event chain,
+// mirroring the retired worker's loop: digest state updates after each write
+// completes, reads clamp against the object's physical end as it stands when
+// the range is reached, and the first error aborts the remaining ranges.
+func (s *server) handleIOThen(r ioReq, done func(int64, error)) {
 	st, ok := s.objects[r.Path]
 	if !ok {
 		st = &objState{}
@@ -124,14 +147,23 @@ func (s *server) handleIO(p *sim.Proc, r ioReq) (int64, error) {
 	}
 	base := objectBase(r.Path)
 	var total int64
-	for _, rg := range r.Ranges {
-		if r.Write {
-			if err := s.array.Write(p, base+rg.phys, rg.length); err != nil {
-				return total, err
+	var step func(i int)
+	step = func(i int) {
+		for ; i < len(r.Ranges); i++ {
+			rg := r.Ranges[i]
+			next := i + 1
+			if r.Write {
+				s.array.WriteThen(base+rg.phys, rg.length, func(err error) {
+					if err != nil {
+						done(total, err)
+						return
+					}
+					s.recordWrite(st, r.Path, rg)
+					total += rg.length
+					step(next)
+				})
+				return
 			}
-			s.recordWrite(st, r.Path, rg)
-			total += rg.length
-		} else {
 			length := rg.length
 			if rg.phys >= st.physEnd {
 				continue // hole / EOF on this server
@@ -139,13 +171,20 @@ func (s *server) handleIO(p *sim.Proc, r ioReq) (int64, error) {
 			if rg.phys+length > st.physEnd {
 				length = st.physEnd - rg.phys
 			}
-			if err := s.array.Read(p, base+rg.phys, length); err != nil {
-				return total, err
-			}
-			total += length
+			add := length
+			s.array.ReadThen(base+rg.phys, length, func(err error) {
+				if err != nil {
+					done(total, err)
+					return
+				}
+				total += add
+				step(next)
+			})
+			return
 		}
+		done(total, nil)
 	}
-	return total, nil
+	step(0)
 }
 
 // objectBase allocates each file its own extent on the array so distinct

@@ -50,6 +50,30 @@ func (e *Env) LiveProcs() int { return len(e.procs) }
 // delivery) allocate no process per event.
 func (e *Env) Spawned(name string) int { return e.spawns[name] }
 
+// Spawns returns a copy of the full spawn census: processes ever spawned,
+// keyed by Go name. Regression guards iterate it to assert that no
+// per-request or per-message process names (".worker", ".dispatch",
+// "pfs.io", ...) reappear in an eventized hot path.
+func (e *Env) Spawns() map[string]int {
+	out := make(map[string]int, len(e.spawns))
+	for name, n := range e.spawns {
+		out[name] = n
+	}
+	return out
+}
+
+// TotalSpawned reports the number of processes ever spawned in this
+// environment, across all names. After full eventization this is
+// O(ranks): one process per MPI rank plus a constant few joiners,
+// regardless of request volume.
+func (e *Env) TotalSpawned() int {
+	total := 0
+	for _, n := range e.spawns {
+		total += n
+	}
+	return total
+}
+
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 

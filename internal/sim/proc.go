@@ -17,6 +17,12 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	// dispatchFn is the process's reusable dispatch event, allocated once at
+	// spawn. Every Sleep/unpark schedules it; caching it here keeps the
+	// simulator's hottest path (hundreds of wake events per rank) from
+	// allocating a fresh closure per event.
+	dispatchFn func()
 }
 
 // Go spawns fn as a new simulated process starting at the current virtual
@@ -29,6 +35,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	e.nextPID++
 	e.spawns[name]++
 	p := &Proc{env: e, pid: e.nextPID, name: name, resume: make(chan struct{})}
+	p.dispatchFn = func() { e.dispatch(p) }
 	e.procs[p] = struct{}{}
 	go func() {
 		defer func() {
@@ -48,7 +55,7 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 	}()
 	// First activation is a normal scheduled event at the current time.
-	e.schedule(e.now, func() { e.dispatch(p) })
+	e.schedule(e.now, p.dispatchFn)
 	return p
 }
 
@@ -74,10 +81,10 @@ func (p *Proc) park() {
 }
 
 // unpark schedules p to resume at the current virtual time.
-func (p *Proc) unpark() { p.env.schedule(p.env.now, func() { p.env.dispatch(p) }) }
+func (p *Proc) unpark() { p.env.schedule(p.env.now, p.dispatchFn) }
 
 // unparkAt schedules p to resume at instant at.
-func (p *Proc) unparkAt(at Time) { p.env.schedule(at, func() { p.env.dispatch(p) }) }
+func (p *Proc) unparkAt(at Time) { p.env.schedule(at, p.dispatchFn) }
 
 // Env returns the owning environment.
 func (p *Proc) Env() *Env { return p.env }

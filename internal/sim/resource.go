@@ -23,12 +23,32 @@ type waiter struct {
 	fn func()
 }
 
+// serve resumes one waiter: a parked process via its dispatch handshake, a
+// callback claim by direct invocation. Only valid inside a running event.
+func (w waiter) serve(env *Env) {
+	if w.p != nil {
+		env.dispatch(w.p)
+	} else {
+		w.fn()
+	}
+}
+
 // NewResource returns a resource with the given capacity (>= 1).
 func NewResource(env *Env, capacity int) *Resource {
+	r := &Resource{}
+	r.Init(env, capacity)
+	return r
+}
+
+// Init prepares a zero Resource in place: the slab-allocation twin of
+// NewResource, for embedding resources by value in preallocated arrays
+// (interface slabs, disk slabs). A Resource must not be copied after Init.
+func (r *Resource) Init(env *Env, capacity int) {
 	if capacity < 1 {
 		panic("sim: resource capacity must be >= 1")
 	}
-	return &Resource{env: env, cap: capacity}
+	r.env = env
+	r.cap = capacity
 }
 
 // Acquire obtains one unit of the resource, blocking p until available.
@@ -118,35 +138,79 @@ func (r *Resource) QueueLen() int { return len(r.waiters) }
 // Mailbox is an unbounded FIFO of messages with blocking receive. Sends
 // never block (use a Resource to model transmission time); receives block
 // until a message arrives. Multiple receivers are served in FIFO order.
+//
+// Like Resource, a Mailbox serves two kinds of receiver through one FIFO
+// queue: processes (Get, which parks the caller) and event callbacks
+// (GetThen, which allocate no goroutine). Wake-ups are batched: however many
+// messages arrive at one instant, the mailbox schedules at most one drain
+// event, which serves every (message, receiver) pair in FIFO order — the
+// sequencing is identical to the retired one-wake-event-per-Put scheme
+// because those wake events carried consecutive sequence numbers with
+// nothing schedulable between them.
 type Mailbox[T any] struct {
-	env   *Env
-	items []T
-	recvq []*Proc
+	env      *Env
+	items    []T
+	recvq    []mboxWaiter[T]
+	draining bool
+	drainFn  func() // bound drain method, allocated once in Init
+}
+
+// mboxWaiter is one queued receiver: a parked process (which pops the item
+// itself when redispatched, via Get's re-check loop) or a one-shot callback
+// (to which the drain hands the item directly).
+type mboxWaiter[T any] struct {
+	p  *Proc
+	fn func(T)
 }
 
 // NewMailbox returns an empty mailbox bound to env.
 func NewMailbox[T any](env *Env) *Mailbox[T] {
-	return &Mailbox[T]{env: env}
+	m := &Mailbox[T]{}
+	m.Init(env)
+	return m
 }
 
-// Put deposits v and wakes one waiting receiver if present. Put may be
-// called from a process or from a pure scheduled event.
+// Init prepares a zero Mailbox in place: the slab-allocation twin of
+// NewMailbox, for preallocated per-node port arrays. A Mailbox must not be
+// copied after Init.
+func (m *Mailbox[T]) Init(env *Env) {
+	m.env = env
+	m.drainFn = m.drain
+}
+
+// Put deposits v and, if receivers are waiting, schedules the drain event
+// (at most one pending at a time). Put may be called from a process or from
+// a pure scheduled event.
 func (m *Mailbox[T]) Put(v T) {
 	m.items = append(m.items, v)
-	if len(m.recvq) > 0 {
-		w := m.recvq[0]
-		copy(m.recvq, m.recvq[1:])
-		m.recvq = m.recvq[:len(m.recvq)-1]
-		w.unpark()
+	if len(m.recvq) > 0 && !m.draining {
+		m.draining = true
+		m.env.schedule(m.env.now, m.drainFn)
 	}
 }
 
-// Get removes and returns the oldest message, blocking p until one exists.
-func (m *Mailbox[T]) Get(p *Proc) T {
-	for len(m.items) == 0 {
-		m.recvq = append(m.recvq, p)
-		p.park()
+// drain serves queued (message, receiver) pairs in FIFO order until either
+// runs out. A redispatched process consumes its message inside Get (and may
+// re-queue itself or deposit more messages while the drain runs); a callback
+// receiver is handed the message directly. Both paths advance the same
+// queues, so the loop terminates.
+func (m *Mailbox[T]) drain() {
+	m.draining = false
+	for len(m.items) > 0 && len(m.recvq) > 0 {
+		w := m.recvq[0]
+		copy(m.recvq, m.recvq[1:])
+		m.recvq[len(m.recvq)-1] = mboxWaiter[T]{}
+		m.recvq = m.recvq[:len(m.recvq)-1]
+		if w.p != nil {
+			m.env.dispatch(w.p)
+			continue
+		}
+		w.fn(m.pop())
 	}
+}
+
+// pop removes and returns the oldest message; items must be non-empty.
+func (m *Mailbox[T]) pop() T {
 	v := m.items[0]
 	copy(m.items, m.items[1:])
 	var zero T
@@ -155,29 +219,49 @@ func (m *Mailbox[T]) Get(p *Proc) T {
 	return v
 }
 
+// Get removes and returns the oldest message, blocking p until one exists.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.recvq = append(m.recvq, mboxWaiter[T]{p: p})
+		p.park()
+	}
+	return m.pop()
+}
+
+// GetThen receives one message on behalf of an event chain: fn runs with the
+// oldest message — immediately (synchronously) when one is queued, matching
+// a process Get that finds the mailbox non-empty — otherwise when the drain
+// reaches this receiver. The registration is one-shot: a server loop re-arms
+// by calling GetThen again from inside fn, which exactly mirrors a dispatch
+// process looping back into Get (including consuming a burst of queued
+// messages within one drain, as the process loop consumed them within one
+// wake).
+func (m *Mailbox[T]) GetThen(fn func(T)) {
+	if len(m.items) > 0 {
+		fn(m.pop())
+		return
+	}
+	m.recvq = append(m.recvq, mboxWaiter[T]{fn: fn})
+}
+
 // TryGet removes and returns the oldest message without blocking; ok is
 // false when the mailbox is empty.
 func (m *Mailbox[T]) TryGet() (v T, ok bool) {
 	if len(m.items) == 0 {
 		return v, false
 	}
-	v = m.items[0]
-	copy(m.items, m.items[1:])
-	var zero T
-	m.items[len(m.items)-1] = zero
-	m.items = m.items[:len(m.items)-1]
-	return v, true
+	return m.pop(), true
 }
 
 // Len reports the number of queued messages.
 func (m *Mailbox[T]) Len() int { return len(m.items) }
 
-// Signal is a broadcast condition: processes Wait on it and a later Fire
-// releases every current waiter at once. Fires with no waiters are not
-// remembered (it is a condition variable, not a latch).
+// Signal is a broadcast condition: processes Wait (or event chains WaitThen)
+// on it and a later Fire releases every current waiter at once. Fires with
+// no waiters are not remembered (it is a condition variable, not a latch).
 type Signal struct {
 	env     *Env
-	waiters []*Proc
+	waiters []waiter
 }
 
 // NewSignal returns a signal bound to env.
@@ -185,20 +269,36 @@ func NewSignal(env *Env) *Signal { return &Signal{env: env} }
 
 // Wait blocks p until the next Fire.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.park()
 }
 
-// Fire wakes every process currently waiting, in wait order.
+// WaitThen registers fn to run at the next Fire: the event-callback half of
+// the signal API. Like process waiters, callbacks are released in wait
+// order.
+func (s *Signal) WaitThen(fn func()) {
+	s.waiters = append(s.waiters, waiter{fn: fn})
+}
+
+// Fire wakes every process and callback currently waiting, in wait order,
+// through a single scheduled drain event. The batched drain is sequencing-
+// identical to the retired one-wake-event-per-waiter scheme: those unpark
+// events carried consecutive sequence numbers assigned inside Fire's loop,
+// so nothing could ever be scheduled between them.
 func (s *Signal) Fire() {
 	ws := s.waiters
 	s.waiters = nil
-	for _, w := range ws {
-		w.unpark()
+	if len(ws) == 0 {
+		return
 	}
+	s.env.schedule(s.env.now, func() {
+		for _, w := range ws {
+			w.serve(s.env)
+		}
+	})
 }
 
-// Waiting reports the number of blocked processes.
+// Waiting reports the number of blocked waiters.
 func (s *Signal) Waiting() int { return len(s.waiters) }
 
 // Latch is a one-shot gate: Open releases all present and future waiters.
@@ -219,6 +319,16 @@ func (l *Latch) Wait(p *Proc) {
 		return
 	}
 	l.signal.Wait(p)
+}
+
+// WaitThen runs fn when the latch opens — synchronously if already open,
+// mirroring a process Wait that falls straight through.
+func (l *Latch) WaitThen(fn func()) {
+	if l.open {
+		fn()
+		return
+	}
+	l.signal.WaitThen(fn)
 }
 
 // Open releases all waiters; idempotent.

@@ -38,7 +38,7 @@ type Kernel struct {
 	clock   *clocks.Clock
 	cfg     KernelConfig
 	mounts  []mountEntry
-	procs   map[int]*ProcCtx
+	procs   []*ProcCtx
 	nextPID int
 
 	// SyscallCount aggregates all syscalls served, for analysis.
@@ -54,7 +54,7 @@ type mountEntry struct {
 // local wall time for trace timestamps; pass clocks.New(0,0) for a perfect
 // clock.
 func NewKernel(env *sim.Env, node string, clock *clocks.Clock, cfg KernelConfig) *Kernel {
-	return &Kernel{env: env, node: node, clock: clock, cfg: cfg, procs: make(map[int]*ProcCtx)}
+	return &Kernel{env: env, node: node, clock: clock, cfg: cfg}
 }
 
 // Node returns the node name.
@@ -109,13 +109,15 @@ func (k *Kernel) Spawn(cred Cred) *ProcCtx {
 		kernel: k,
 		pid:    10000 + k.nextPID,
 		cred:   cred,
-		fds:    make(map[int]*fdEntry),
 		nextFD: 3, // 0,1,2 reserved as on Unix
 		rank:   -1,
 	}
-	k.procs[pc.pid] = pc
+	k.procs = append(k.procs, pc)
 	return pc
 }
+
+// Procs returns the node's process table in spawn order.
+func (k *Kernel) Procs() []*ProcCtx { return k.procs }
 
 // ProcCtx is one process's kernel-side state: credentials, fd table, and the
 // tracer hooks attached to it.
@@ -124,7 +126,13 @@ type ProcCtx struct {
 	pid    int
 	rank   int
 	cred   Cred
-	fds    map[int]*fdEntry
+	// fds is the descriptor table, indexed by fd-3 (0,1,2 reserved as on
+	// Unix). Descriptor numbers are never reused — they appear verbatim in
+	// trace records, so reuse would change trace output — which makes the
+	// table an append-only slice of values instead of a map of pointers:
+	// one allocation per process at 65536 ranks instead of one per open.
+	// A closed entry keeps its slot with file == nil.
+	fds    []fdEntry
 	nextFD int
 	hooks  []SyscallHook
 }
@@ -227,7 +235,7 @@ func (pc *ProcCtx) Open(p *sim.Proc, path string, flags OpenFlag, mode int) (int
 			}
 			fd = pc.nextFD
 			pc.nextFD++
-			pc.fds[fd] = &fdEntry{file: f, path: path, flags: flags}
+			pc.fds = append(pc.fds, fdEntry{file: f, path: path, flags: flags})
 			return strconv.Itoa(fd), func(r *trace.Record) { r.Path = path }
 		})
 	if err != nil {
@@ -237,11 +245,11 @@ func (pc *ProcCtx) Open(p *sim.Proc, path string, flags OpenFlag, mode int) (int
 }
 
 func (pc *ProcCtx) fd(fd int) (*fdEntry, error) {
-	e, ok := pc.fds[fd]
-	if !ok {
+	i := fd - 3
+	if i < 0 || i >= len(pc.fds) || pc.fds[i].file == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
 	}
-	return e, nil
+	return &pc.fds[i], nil
 }
 
 // PWrite writes length bytes at offset through fd.
@@ -375,7 +383,7 @@ func (pc *ProcCtx) Close(p *sim.Proc, fd int) error {
 				return errnoString(err), nil
 			}
 			err = e.file.Close(p)
-			delete(pc.fds, fd)
+			e.file = nil // slot retired; fd numbers are never reused
 			return errnoString(err), nil
 		})
 	return err
