@@ -659,3 +659,135 @@ func BenchmarkCollectiveIOAblation(b *testing.B) {
 	}
 	b.ReportMetric(speedup, "collective_speedup_x")
 }
+
+// --- Columnar v2 codec ---
+
+// BenchmarkColumnarEncode measures the v2 block encoder on the same
+// realistic stream as the v1 codec benchmarks, plain and deflated.
+func BenchmarkColumnarEncode(b *testing.B) {
+	recs := codecRecords(60000)
+	for _, c := range []struct {
+		name     string
+		compress bool
+	}{{"plain", false}, {"compressed", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			var encoded int64
+			{
+				var buf bytes.Buffer
+				trace.WriteAll(trace.NewColumnarWriter(&buf, trace.ColumnarOptions{Compress: c.compress}), recs)
+				encoded = int64(buf.Len())
+			}
+			b.SetBytes(encoded)
+			for i := 0; i < b.N; i++ {
+				if err := trace.WriteAll(trace.NewColumnarWriter(io.Discard, trace.ColumnarOptions{Compress: c.compress}), recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColumnarDecode measures full-stream record materialization:
+// the sequential source against the indexed worker-pool scan.
+func BenchmarkColumnarDecode(b *testing.B) {
+	recs := codecRecords(60000)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(trace.NewColumnarWriter(&buf, trace.ColumnarOptions{Compress: true}), recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	drain := func(src trace.Source) error {
+		_, err := trace.Copy(trace.SinkFunc(func(r *trace.Record) error { return nil }), src)
+		return err
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := drain(trace.NewColumnarSource(bytes.NewReader(data))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		cr, err := trace.NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := drain(cr.Scan(trace.MatchAll(), 0)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColumnarQuery measures the serving path: a 10% time-window
+// aggregate via column views (index-pruned) against the same answer from a
+// full record scan. Records are time-ordered, so the footer index prunes
+// the window query to ~10% of the blocks.
+func BenchmarkColumnarQuery(b *testing.B) {
+	recs := codecRecords(60000)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(trace.NewColumnarWriter(&buf, trace.ColumnarOptions{}), recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	cr, err := trace.NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := trace.MatchAll().WithWindow(
+		recs[len(recs)*45/100].Time, recs[len(recs)*55/100].Time)
+	sumBytes := func(q trace.Query) (int64, trace.ScanStats, error) {
+		var total int64
+		stats, err := cr.ScanViews(q, 0, func(v *trace.BlockView, rows []int) error {
+			bs, err := v.Bytes()
+			if err != nil {
+				return err
+			}
+			for _, i := range rows {
+				total += bs[i]
+			}
+			return nil
+		})
+		return total, stats, err
+	}
+	want, stats, err := sumBytes(window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.BlocksDecoded*5 > stats.BlocksTotal {
+		b.Fatalf("window query decoded %d of %d blocks; index is not pruning", stats.BlocksDecoded, stats.BlocksTotal)
+	}
+	b.Run("indexed-window", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			got, _, err := sumBytes(window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != want {
+				b.Fatalf("sum %d != %d", got, want)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			var got int64
+			_, err := trace.Copy(trace.SinkFunc(func(r *trace.Record) error {
+				if window.Matches(r) {
+					got += r.Bytes
+				}
+				return nil
+			}), trace.NewColumnarSource(bytes.NewReader(data)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != want {
+				b.Fatalf("sum %d != %d", got, want)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@
 //	tracebench -exp fig2 -csv   # CSV series for plotting
 //	tracebench -full            # paper-scale data volumes (slow)
 //	tracebench -bench-json BENCH_sweep.json   # cold/warm cache benchmark
+//	tracebench -bench-codec BENCH_codec.json  # v1 vs v2 trace codec benchmark
 //
 // Experiments: fig1 fig2 fig3 fig4 overheads elapsed tracefs ptrace
 // collective matrix scaling servers table1 table2 all. The matrix and
@@ -51,6 +52,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the persisted simulation-result cache (in-run baseline sharing still applies)")
 	benchJSON := flag.String("bench-json", "", "run the cold/warm cache benchmark and write the snapshot to this file, then exit (nonzero if warm output diverges)")
 	benchLadder := flag.String("bench-ladder", "", "run the rank-ladder benchmark (wall time + peak heap per rung up to -max-ranks, default 65536) and write the JSON snapshot to this file, then exit")
+	benchCodec := flag.String("bench-codec", "", "run the trace-codec benchmark (v1 vs v2 size, scan throughput, index pruning) and write the JSON snapshot to this file, then exit (nonzero on a format regression)")
 	poolMem := flag.String("pool-mem", "", "memory budget for the simulation worker pool, e.g. 2GB or 512MB (empty = unlimited)")
 	flag.Parse()
 
@@ -63,6 +65,10 @@ func main() {
 
 	if *benchLadder != "" {
 		runBenchLadder(*benchLadder, *maxRanks)
+		return
+	}
+	if *benchCodec != "" {
+		runBenchCodec(*benchCodec)
 		return
 	}
 	if *benchJSON != "" {
@@ -289,6 +295,30 @@ func runBenchLadder(path string, maxRanks int) {
 	}
 	fmt.Fprintf(os.Stderr, "# ladder: %d rungs (%s on %s, %s scaling) -> %s\n",
 		len(snap.Rungs), snap.Framework, snap.Workload, snap.Mode, path)
+}
+
+// runBenchCodec measures the two trace codecs against each other on the
+// full-registry matrix streams and probes the v2 block index, written as the
+// in-repo BENCH_codec.json snapshot. Exits nonzero if a run fails or the
+// snapshot misses an acceptance bar (size ratio, pruning fraction) — a
+// format regression, not a performance blip.
+func runBenchCodec(path string) {
+	snap, err := harness.BenchCodec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench-codec: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, []byte(snap.JSON()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tracebench: bench-codec: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "# codec: %d records, v1 %.1f B/rec, v2 %.1f B/rec (%.2fx, %.2fx deflated); index decoded %d/%d blocks; passed=%v -> %s\n",
+		snap.TotalRecords, snap.V1PerRecord, snap.V2PerRecord, snap.SizeRatio, snap.SizeRatioComp,
+		snap.IndexDecoded, snap.IndexBlocks, snap.Passed, path)
+	if !snap.Passed {
+		fmt.Fprintln(os.Stderr, "tracebench: bench-codec: snapshot failed an acceptance bar")
+		os.Exit(1)
+	}
 }
 
 func emitFigure(fig harness.FigureResult, csv bool) {

@@ -1,18 +1,20 @@
-// Command traceconv inspects and converts trace files between the two
-// formats the taxonomy distinguishes, and runs anonymization passes over
-// them — the workflow behind LANL's anonymized trace releases.
+// Command traceconv inspects and converts trace files between the formats
+// the taxonomy distinguishes — text, row-ordered binary (v1), and columnar
+// (v2) — and runs anonymization passes over them: the workflow behind LANL's
+// anonymized trace releases.
 //
 // The tool is a single streaming pass: records are pulled from the input
 // decoder, through the optional anonymization transform, and pushed into the
 // statistics folds and the output encoder one at a time. Memory stays
 // O(block), not O(trace), so multi-gigabyte traces convert in constant
-// space; binary encoding fans out across a worker pool.
+// space; v1 encoding fans out across a worker pool.
 //
 // Usage:
 //
 //	traceconv -in raw.trace -stats
-//	traceconv -in raw.trace -to binary -out trace.bin -compress
-//	traceconv -in trace.bin -to text -out back.trace
+//	traceconv -in raw.trace -to v1 -out trace.bin -compress
+//	traceconv -in trace.bin -to v2 -out trace.col
+//	traceconv -in trace.col -to text -out back.trace
 //	traceconv -in raw.trace -anonymize path,uid,gid -mode randomize -out anon.trace
 //	traceconv -in raw.trace -anonymize path -mode encrypt -key 0123456789abcdef -out enc.trace
 package main
@@ -28,57 +30,88 @@ import (
 	"iotaxo/internal/trace"
 )
 
+// options carries the parsed flag set; run is pure in terms of it so tests
+// drive conversions without a subprocess.
+type options struct {
+	in, out, to               string
+	compress                  bool
+	workers, blockRecs        int
+	stats                     bool
+	anonSpec, mode, key, salt string
+}
+
 func main() {
-	in := flag.String("in", "", "input trace file (text or binary, auto-detected)")
-	out := flag.String("out", "", "output file (default stdout)")
-	to := flag.String("to", "", "convert to format: text | binary")
-	compress := flag.Bool("compress", false, "compress binary output")
-	workers := flag.Int("workers", 0, "binary codec worker goroutines (0 = GOMAXPROCS)")
-	blockRecs := flag.Int("block", 0, "records per binary output block (0 = default 512)")
-	stats := flag.Bool("stats", false, "print a call summary and I/O statistics")
-	anonSpec := flag.String("anonymize", "", "fields to anonymize (e.g. path,uid,gid or all)")
-	mode := flag.String("mode", "randomize", "anonymization mode: randomize | encrypt")
-	key := flag.String("key", "", "AES key for -mode encrypt (16/24/32 bytes)")
-	salt := flag.String("salt", "iotaxo", "salt for -mode randomize")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input trace file (text, v1 binary, or v2 columnar; auto-detected)")
+	flag.StringVar(&o.out, "out", "", "output file (default stdout)")
+	flag.StringVar(&o.to, "to", "", "convert to format: v1 | v2 | text (aliases: binary = v1, columnar = v2)")
+	flag.BoolVar(&o.compress, "compress", false, "compress binary/columnar output")
+	flag.IntVar(&o.workers, "workers", 0, "v1 codec worker goroutines (0 = GOMAXPROCS)")
+	flag.IntVar(&o.blockRecs, "block", 0, "records per output block (0 = format default: 512 for v1, 4096 for v2)")
+	flag.BoolVar(&o.stats, "stats", false, "print a call summary and I/O statistics")
+	flag.StringVar(&o.anonSpec, "anonymize", "", "fields to anonymize (e.g. path,uid,gid or all)")
+	flag.StringVar(&o.mode, "mode", "randomize", "anonymization mode: randomize | encrypt")
+	flag.StringVar(&o.key, "key", "", "AES key for -mode encrypt (16/24/32 bytes)")
+	flag.StringVar(&o.salt, "salt", "iotaxo", "salt for -mode randomize")
 	flag.Parse()
 
-	if *in == "" {
+	if o.in == "" {
 		fmt.Fprintln(os.Stderr, "traceconv: -in is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "traceconv:", err)
+		os.Exit(1)
+	}
+}
+
+// normalizeTarget folds format aliases onto the canonical names.
+func normalizeTarget(target string) string {
+	switch target {
+	case "binary":
+		return "v1"
+	case "columnar":
+		return "v2"
+	}
+	return target
+}
+
+// run is the whole conversion: one streaming pass from the input decoder
+// through the optional anonymizer into the statistics folds and re-encoder.
+func run(o options, stdout, stderr io.Writer) error {
+	f, err := os.Open(o.in)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer f.Close()
 	src, format, err := trace.OpenAuto(f)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	input := src // keep the decoder handle for its block count
 
 	// Optional anonymization transform in the stream.
 	anonymized := false
-	if *anonSpec != "" {
-		spec, err := anonymize.ParseSpec(*anonSpec)
+	if o.anonSpec != "" {
+		spec, err := anonymize.ParseSpec(o.anonSpec)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var a anonymize.Anonymizer
-		switch *mode {
+		switch o.mode {
 		case "randomize":
-			a = anonymize.NewRandomizer(spec, []byte(*salt))
+			a = anonymize.NewRandomizer(spec, []byte(o.salt))
 		case "encrypt":
-			if *key == "" {
-				fail(fmt.Errorf("-mode encrypt requires -key"))
+			if o.key == "" {
+				return fmt.Errorf("-mode encrypt requires -key")
 			}
-			enc, err := anonymize.NewEncryptor(spec, []byte(*key))
+			enc, err := anonymize.NewEncryptor(spec, []byte(o.key))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			a = enc
 		default:
-			fail(fmt.Errorf("unknown -mode %q", *mode))
+			return fmt.Errorf("unknown -mode %q", o.mode)
 		}
 		src = trace.TransformSource(src, anonymize.Transform(a))
 		anonymized = true
@@ -88,46 +121,58 @@ func main() {
 	var sinks []trace.Sink
 	sum := analysis.NewCallSummary()
 	ioStats := analysis.NewIOStats()
-	if *stats {
+	if o.stats {
 		sinks = append(sinks, sum.Sink(), ioStats.Sink())
 	}
 
-	target := *to
+	target := normalizeTarget(o.to)
 	if target == "" && anonymized {
 		if format == trace.FormatUnknown {
 			target = "text" // empty input: emit a valid (empty) text trace
 		} else {
-			target = format.String() // keep input format
+			target = normalizeTarget(format.String()) // keep input format
 		}
 	}
-	var binOut *trace.ParallelBinaryWriter
+	var encOut blockEncoder
 	var closeOut func()
 	switch target {
 	case "":
-		if !*stats {
-			return // nothing to do
+		if !o.stats {
+			return nil // nothing to do
 		}
 	case "text":
-		w, cl, err := openOut(*out)
+		w, cl, err := openOut(o.out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		closeOut = cl
 		sinks = append(sinks, trace.NewTextSink(w))
-	case "binary":
-		w, cl, err := openOut(*out)
+	case "v1":
+		w, cl, err := openOut(o.out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		closeOut = cl
-		binOut = trace.NewParallelBinaryWriter(w, trace.BinaryOptions{
-			Compress:        *compress,
+		encOut = trace.NewParallelBinaryWriter(w, trace.BinaryOptions{
+			Compress:        o.compress,
 			Anonymized:      anonymized,
-			RecordsPerBlock: *blockRecs,
-		}, *workers)
-		sinks = append(sinks, binOut)
+			RecordsPerBlock: o.blockRecs,
+		}, o.workers)
+		sinks = append(sinks, encOut)
+	case "v2":
+		w, cl, err := openOut(o.out)
+		if err != nil {
+			return err
+		}
+		closeOut = cl
+		encOut = trace.NewColumnarWriter(w, trace.ColumnarOptions{
+			Compress:        o.compress,
+			Anonymized:      anonymized,
+			RecordsPerBlock: o.blockRecs,
+		})
+		sinks = append(sinks, encOut)
 	default:
-		fail(fmt.Errorf("unknown -to format %q", target))
+		return fmt.Errorf("unknown -to format %q", target)
 	}
 
 	// The single streaming pass.
@@ -140,20 +185,28 @@ func main() {
 		closeOut()
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	if *stats {
-		fmt.Printf("# %d records (%s input%s)\n", records, format, blockNote(input))
-		fmt.Print(sum.Format())
-		fmt.Printf("# I/O: %d calls, %d bytes (%d read / %d written), %d distinct paths\n",
+	if o.stats {
+		fmt.Fprintf(stdout, "# %d records (%s input%s)\n", records, format, blockNote(input))
+		fmt.Fprint(stdout, sum.Format())
+		fmt.Fprintf(stdout, "# I/O: %d calls, %d bytes (%d read / %d written), %d distinct paths\n",
 			ioStats.Calls, ioStats.Bytes, ioStats.ReadBytes, ioStats.WriteBytes,
 			len(ioStats.DistinctPath))
 	}
 	if target != "" {
-		fmt.Fprintf(os.Stderr, "traceconv: %d records -> %s%s\n",
-			records, target, writeNote(binOut))
+		fmt.Fprintf(stderr, "traceconv: %d records -> %s%s\n",
+			records, target, writeNote(encOut))
 	}
+	return nil
+}
+
+// blockEncoder is what both binary encoders report about their output.
+type blockEncoder interface {
+	trace.Sink
+	BlocksWritten() int64
+	BytesWritten() int64
 }
 
 // blockNote reports the input decoder's block count when it has one.
@@ -165,7 +218,7 @@ func blockNote(src trace.Source) string {
 }
 
 // writeNote reports the output encoder's block and byte counts.
-func writeNote(w *trace.ParallelBinaryWriter) string {
+func writeNote(w blockEncoder) string {
 	if w == nil {
 		return ""
 	}
@@ -181,9 +234,4 @@ func openOut(path string) (io.Writer, func(), error) {
 		return nil, nil, err
 	}
 	return f, func() { f.Close() }, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "traceconv:", err)
-	os.Exit(1)
 }

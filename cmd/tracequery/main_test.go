@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+// testOptions mirrors the flag defaults (an unbounded window).
+func testOptions() options {
+	return options{from: math.Inf(-1), to: math.Inf(1)}
+}
+
+// writeRankMajorTrace emits ranks*perRank records grouped by rank, so the
+// block index can prune rank-range queries hard.
+func writeRankMajorTrace(t *testing.T, path string, ranks, perRank, perBlock int) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewColumnarWriter(f, trace.ColumnarOptions{RecordsPerBlock: perBlock})
+	i := 0
+	for rank := 0; rank < ranks; rank++ {
+		for k := 0; k < perRank; k++ {
+			r := trace.Record{
+				Time: sim.Time(i) * sim.Microsecond, Dur: 10 * sim.Microsecond,
+				Node: "n0", Rank: rank, PID: 100 + rank,
+				Class: trace.ClassSyscall, Name: "SYS_write", Ret: "4096",
+				Path: fmt.Sprintf("/pfs/rank%04d.out", rank), Offset: int64(k) * 4096, Bytes: 4096,
+			}
+			if err := w.Write(&r); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankWindowQuery(t *testing.T) {
+	dir := t.TempDir()
+	col := filepath.Join(dir, "t.col")
+	writeRankMajorTrace(t, col, 512, 16, 256)
+
+	var out bytes.Buffer
+	o := testOptions()
+	o.in, o.ranks, o.workers = col, "100-131", 2
+	err := run(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// 32 ranks x 16 writes of 4096 bytes each.
+	for _, want := range []string{
+		"matched: 512 records, 512 I/O calls",
+		"bytes: 2097152 total (0 read / 2097152 written)",
+		"32 distinct paths",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// 512 ranks x 16 / 256 per block = 32 blocks; 32 consecutive ranks span
+	// at most 3 of them.
+	var decoded, total int
+	for _, line := range strings.Split(got, "\n") {
+		if strings.HasPrefix(line, "scan:") {
+			if _, err := fmt.Sscanf(line, "scan: decoded %d of %d blocks", &decoded, &total); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if total != 32 || decoded > 3 {
+		t.Fatalf("decoded %d of %d blocks, want <=3 of 32", decoded, total)
+	}
+}
+
+func TestPrintAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	col := filepath.Join(dir, "t.col")
+	writeRankMajorTrace(t, col, 8, 4, 16)
+
+	var out bytes.Buffer
+	o := testOptions()
+	o.in, o.ranks, o.print, o.limit = col, "3", true, 2
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "rank=3"); got != 2 {
+		t.Fatalf("printed %d rank=3 lines, want 2:\n%s", got, out.String())
+	}
+
+	out.Reset()
+	o2 := testOptions()
+	o2.in, o2.summary = col, true
+	if err := run(o2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SYS_write") {
+		t.Fatalf("summary missing SYS_write:\n%s", out.String())
+	}
+}
+
+func TestRejectsRowFormat(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	f, err := os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewBinaryWriter(f, trace.BinaryOptions{})
+	r := trace.Record{Name: "SYS_read", Rank: 1, Bytes: 64}
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	ob := testOptions()
+	ob.in = bin
+	err = run(ob, &out)
+	if err == nil || !strings.Contains(err.Error(), "traceconv") {
+		t.Fatalf("want error pointing at traceconv, got %v", err)
+	}
+}
+
+func TestQueryFlagErrors(t *testing.T) {
+	or1 := testOptions()
+	or1.ranks = "9-2"
+	if _, err := buildQuery(or1); err == nil {
+		t.Fatal("inverted rank range accepted")
+	}
+	if _, err := buildQuery(options{from: 5, to: 1, ranks: ""}); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	oc := testOptions()
+	oc.class = "nope"
+	if _, err := buildQuery(oc); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if lo, hi, err := parseRanks("900-1000"); err != nil || lo != 900 || hi != 1000 {
+		t.Fatalf("parseRanks: %d-%d, %v", lo, hi, err)
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+// Columnar fast paths: analysis folds that need only a few fields run
+// directly over v2 column views — no record materialization, blocks pruned
+// by the footer index, decode fanned out over the scan pool. Each fold's
+// semantics are identical to streaming its row-based counterpart over the
+// same query's records (asserted in tests).
+
+import (
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+// ColumnarIOStats folds the records matching q into I/O statistics reading
+// only the bytes, duration, direction, and path columns. The direction
+// column carries the bits Record.Direction would recompute, so the buckets
+// agree with ComputeIOStats exactly.
+func ColumnarIOStats(cr *trace.ColumnarReader, q trace.Query, workers int) (*IOStats, trace.ScanStats, error) {
+	st := NewIOStats()
+	scan, err := cr.ScanViews(q, workers, func(v *trace.BlockView, rows []int) error {
+		bs, err := v.Bytes()
+		if err != nil {
+			return err
+		}
+		durs, err := v.Durs()
+		if err != nil {
+			return err
+		}
+		dirs, err := v.Dirs()
+		if err != nil {
+			return err
+		}
+		paths, err := v.Paths()
+		if err != nil {
+			return err
+		}
+		for _, i := range rows {
+			if bs[i] <= 0 {
+				continue
+			}
+			st.Calls++
+			st.Bytes += bs[i]
+			st.TimeInIO += sim.Duration(durs[i])
+			switch dirs[i] {
+			case trace.DirRead:
+				st.ReadBytes += bs[i]
+			case trace.DirWrite:
+				st.WriteBytes += bs[i]
+			}
+			if paths[i] != "" {
+				st.DistinctPath[paths[i]] = struct{}{}
+			}
+		}
+		return nil
+	})
+	return st, scan, err
+}
+
+// ColumnarSummary folds the records matching q into a call summary reading
+// only the name and duration columns.
+func ColumnarSummary(cr *trace.ColumnarReader, q trace.Query, workers int) (*CallSummary, trace.ScanStats, error) {
+	s := NewCallSummary()
+	scan, err := cr.ScanViews(q, workers, func(v *trace.BlockView, rows []int) error {
+		names, err := v.Names()
+		if err != nil {
+			return err
+		}
+		durs, err := v.Durs()
+		if err != nil {
+			return err
+		}
+		for _, i := range rows {
+			row, ok := s.rows[names[i]]
+			if !ok {
+				row = &SummaryRow{Name: names[i]}
+				s.rows[names[i]] = row
+			}
+			row.Calls++
+			row.TotalTime += sim.Duration(durs[i])
+		}
+		return nil
+	})
+	return s, scan, err
+}

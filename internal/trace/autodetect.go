@@ -14,6 +14,7 @@ const (
 	FormatUnknown Format = iota
 	FormatText
 	FormatBinary
+	FormatColumnar
 )
 
 // String implements fmt.Stringer.
@@ -23,6 +24,8 @@ func (f Format) String() string {
 		return "text"
 	case FormatBinary:
 		return "binary"
+	case FormatColumnar:
+		return "columnar"
 	default:
 		return "unknown"
 	}
@@ -35,6 +38,9 @@ func DetectFormat(r io.Reader) (Format, io.Reader) {
 	head, _ := br.Peek(len(binaryMagic))
 	if bytes.Equal(head, binaryMagic[:]) {
 		return FormatBinary, br
+	}
+	if bytes.Equal(head, columnarMagic[:]) {
+		return FormatColumnar, br
 	}
 	if len(head) > 0 {
 		return FormatText, br
@@ -50,6 +56,8 @@ func OpenAuto(r io.Reader) (Source, Format, error) {
 	switch format {
 	case FormatBinary:
 		return NewBinaryReader(rr), format, nil
+	case FormatColumnar:
+		return NewColumnarSource(rr), format, nil
 	case FormatText:
 		return NewTextReader(rr), format, nil
 	default:

@@ -1,0 +1,491 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"iotaxo/internal/sim"
+)
+
+// normalizeArgs maps empty Args to nil so DeepEqual ignores the nil-vs-empty
+// distinction, like the v1 round-trip tests.
+func normalizeArgs(recs []Record) []Record {
+	out := append([]Record(nil), recs...)
+	for i := range out {
+		if len(out[i].Args) == 0 {
+			out[i].Args = nil
+		}
+	}
+	return out
+}
+
+// writeColumnar encodes recs into a Closed v2 stream.
+func writeColumnar(t *testing.T, recs []Record, opts ColumnarOptions) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewColumnarWriter(&buf, opts)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	in := normalizeArgs(randomRecords(1000, 42))
+	for _, compress := range []bool{false, true} {
+		data := writeColumnar(t, in, ColumnarOptions{Compress: compress, RecordsPerBlock: 64})
+		out, err := NewColumnarSource(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+		if !reflect.DeepEqual(in, normalizeArgs(out)) {
+			t.Fatalf("compress=%v: round trip mismatch", compress)
+		}
+	}
+}
+
+func TestColumnarAutodetect(t *testing.T) {
+	rec := sampleRecord()
+	data := writeColumnar(t, []Record{rec}, ColumnarOptions{})
+	recs, format, err := ReadAuto(bytes.NewReader(data))
+	if err != nil || format != FormatColumnar || len(recs) != 1 {
+		t.Fatalf("columnar auto: %v %v %d", err, format, len(recs))
+	}
+	if FormatColumnar.String() != "columnar" {
+		t.Fatal("format string")
+	}
+}
+
+func TestColumnarFlagsExposed(t *testing.T) {
+	rec := sampleRecord()
+	var buf bytes.Buffer
+	w := NewColumnarWriter(&buf, ColumnarOptions{Compress: true, Anonymized: true})
+	w.Write(&rec)
+	w.Close()
+	src := NewColumnarSource(bytes.NewReader(buf.Bytes()))
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if src.Flags()&FlagCompressed == 0 || src.Flags()&FlagAnonymized == 0 {
+		t.Fatalf("flags = %b", src.Flags())
+	}
+	cr, err := NewColumnarReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Flags() != src.Flags() {
+		t.Fatalf("reader flags %b != source flags %b", cr.Flags(), src.Flags())
+	}
+}
+
+func TestColumnarEmptyStream(t *testing.T) {
+	data := writeColumnar(t, nil, ColumnarOptions{})
+	recs, err := NewColumnarSource(bytes.NewReader(data)).ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%d err=%v", len(recs), err)
+	}
+	cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.NumBlocks() != 0 || cr.NumRecords() != 0 {
+		t.Fatalf("blocks=%d records=%d", cr.NumBlocks(), cr.NumRecords())
+	}
+	s := cr.Scan(MatchAll(), 2)
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// A stream that was Flushed but never Closed has no footer: it must stay
+// readable sequentially and be rejected by the indexed reader.
+func TestColumnarFlushWithoutClose(t *testing.T) {
+	in := normalizeArgs(randomRecords(100, 7))
+	var buf bytes.Buffer
+	w := NewColumnarWriter(&buf, ColumnarOptions{RecordsPerBlock: 16})
+	for i := range in {
+		if err := w.Write(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewColumnarSource(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, normalizeArgs(out)) {
+		t.Fatal("flush-only stream round trip mismatch")
+	}
+	if _, err := NewColumnarReader(bytes.NewReader(buf.Bytes()), int64(buf.Len())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("indexed open of unclosed stream: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Mirror of TestBinaryDetectsCorruption: any flipped byte — payload, block
+// header, or footer — must surface as ErrCorrupt on a sequential read (or,
+// for trailer bytes, at least fail the indexed open below).
+func TestColumnarDetectsCorruption(t *testing.T) {
+	rec := sampleRecord()
+	recs := make([]Record, 32)
+	for i := range recs {
+		recs[i] = rec
+		recs[i].Time = sim.Time(i) * sim.Second
+	}
+	clean := writeColumnar(t, recs, ColumnarOptions{RecordsPerBlock: 8})
+	data := append([]byte(nil), clean...)
+	data[len(data)/2] ^= 0xFF
+	if _, err := NewColumnarSource(bytes.NewReader(data)).ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+
+	// Flip every single byte past the stream header in turn: sequential read
+	// or indexed open must notice each one (flag-byte flips excepted, as in
+	// v1 where flags are also unprotected).
+	for off := columnarHeaderLen; off < len(clean); off++ {
+		data := append([]byte(nil), clean...)
+		data[off] ^= 0xFF
+		_, seqErr := NewColumnarSource(bytes.NewReader(data)).ReadAll()
+		_, idxErr := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+		if seqErr == nil && idxErr == nil {
+			t.Fatalf("flipped byte %d of %d undetected", off, len(clean))
+		}
+	}
+}
+
+func TestColumnarDetectsTruncation(t *testing.T) {
+	rec := sampleRecord()
+	recs := make([]Record, 32)
+	for i := range recs {
+		recs[i] = rec
+	}
+	clean := writeColumnar(t, recs, ColumnarOptions{RecordsPerBlock: 8})
+	// Cut at several depths: inside the trailer, the index, and data blocks.
+	for _, cut := range []int{5, trailerLen, trailerLen + 10, len(clean) / 2} {
+		data := clean[:len(clean)-cut]
+		if _, err := NewColumnarSource(bytes.NewReader(data)).ReadAll(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: err = %v, want ErrCorrupt", cut, err)
+		}
+		if _, err := NewColumnarReader(bytes.NewReader(data), int64(len(data))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: indexed err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestColumnarBadMagic(t *testing.T) {
+	if _, err := NewColumnarSource(bytes.NewReader([]byte("NOTATRACEFILE"))).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if _, err := NewColumnarReader(bytes.NewReader([]byte("NOTATRACEFILEPADDEDOUTTOSIXTYTWOBYTESLONGxxxxxxxxxxxxxxxxxxxxx")), 62); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("indexed err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestColumnarTrailingGarbage(t *testing.T) {
+	data := writeColumnar(t, []Record{sampleRecord()}, ColumnarOptions{})
+	data = append(data, 0xde, 0xad)
+	if _, err := NewColumnarSource(bytes.NewReader(data)).ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Property: the columnar source never panics on arbitrary input.
+func TestColumnarSourceFuzzProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("panic on %x", data)
+			}
+		}()
+		NewColumnarSource(bytes.NewReader(data)).ReadAll()
+		NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+		withMagic := append(append([]byte(nil), columnarMagic[:]...), data...)
+		NewColumnarSource(bytes.NewReader(withMagic)).ReadAll()
+		NewColumnarReader(bytes.NewReader(withMagic), int64(len(withMagic)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// queryRecords is the brute-force reference: filter materialized records.
+func queryRecords(recs []Record, q Query) []Record {
+	var out []Record
+	for i := range recs {
+		if q.Matches(&recs[i]) {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// Property: for random time windows, rank ranges, and class sets, an indexed
+// scan that skips blocks returns exactly what a full scan filters.
+func TestColumnarIndexedQueryMatchesFullScan(t *testing.T) {
+	in := normalizeArgs(randomRecords(3000, 99))
+	for _, compress := range []bool{false, true} {
+		data := writeColumnar(t, in, ColumnarOptions{Compress: compress, RecordsPerBlock: 128})
+		cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 50; trial++ {
+			q := MatchAll()
+			if rng.Intn(2) == 0 {
+				lo := sim.Time(rng.Int63n(1e15))
+				q = q.WithWindow(lo, lo+sim.Time(rng.Int63n(1e15)))
+			}
+			if rng.Intn(2) == 0 {
+				lo := rng.Intn(64) - 1
+				q = q.WithRanks(lo, lo+rng.Intn(16))
+			}
+			if rng.Intn(3) == 0 {
+				q = q.WithClasses(EventClass(rng.Intn(int(numClasses))))
+			}
+			scan := cr.Scan(q, 4)
+			got, err := Collect(scan)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			want := queryRecords(in, q)
+			if !reflect.DeepEqual(normalizeArgs(got), normalizeArgs(want)) {
+				t.Fatalf("trial %d (compress=%v): scan returned %d records, brute force %d, or order/content mismatch",
+					trial, compress, len(got), len(want))
+			}
+			st := scan.Stats()
+			if st.RecordsMatched != int64(len(want)) {
+				t.Fatalf("trial %d: stats.RecordsMatched=%d want %d", trial, st.RecordsMatched, len(want))
+			}
+			if st.BlocksDecoded > st.BlocksTotal {
+				t.Fatalf("trial %d: decoded %d of %d blocks", trial, st.BlocksDecoded, st.BlocksTotal)
+			}
+		}
+	}
+}
+
+// The acceptance-criteria shape: a rank-major 4096-rank trace, querying
+// ranks 900-1000, must decode at most 20% of the blocks.
+func TestColumnarIndexSkipsBlocksAt4096Ranks(t *testing.T) {
+	const ranks, perRank = 4096, 16
+	recs := make([]Record, 0, ranks*perRank)
+	for rank := 0; rank < ranks; rank++ {
+		for i := 0; i < perRank; i++ {
+			recs = append(recs, Record{
+				Time: sim.Time(i) * sim.Millisecond, Dur: 10 * sim.Microsecond,
+				Node: fmt.Sprintf("n%04d", rank/8), Rank: rank, PID: 1000 + rank,
+				Class: ClassSyscall, Name: "SYS_write", Ret: "65536",
+				Path:   fmt.Sprintf("/pfs/out/rank%04d.dat", rank),
+				Offset: int64(i) * 65536, Bytes: 65536,
+			})
+		}
+	}
+	data := writeColumnar(t, recs, ColumnarOptions{RecordsPerBlock: 512})
+	cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MatchAll().WithRanks(900, 1000)
+	scan := cr.Scan(q, 0)
+	got, err := Collect(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 101 * perRank; len(got) != want {
+		t.Fatalf("got %d records, want %d", len(got), want)
+	}
+	st := scan.Stats()
+	if st.BlocksTotal != ranks*perRank/512 {
+		t.Fatalf("BlocksTotal = %d", st.BlocksTotal)
+	}
+	if frac := float64(st.BlocksDecoded) / float64(st.BlocksTotal); frac > 0.20 {
+		t.Fatalf("query decoded %d of %d blocks (%.0f%%), want <= 20%%",
+			st.BlocksDecoded, st.BlocksTotal, frac*100)
+	}
+	if st.BytesRead >= int64(len(data))/5 {
+		t.Fatalf("query read %d of %d bytes", st.BytesRead, len(data))
+	}
+}
+
+// ScanViews must visit exactly the rows Scan yields, in order, without
+// materializing records.
+func TestColumnarScanViewsMatchesScan(t *testing.T) {
+	in := randomRecords(2000, 13)
+	data := writeColumnar(t, in, ColumnarOptions{Compress: true, RecordsPerBlock: 256})
+	cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MatchAll().WithRanks(0, 31).WithClasses(ClassSyscall, ClassMPI)
+	var viaViews struct {
+		n     int64
+		bytes int64
+		time  int64
+	}
+	st, err := cr.ScanViews(q, 3, func(v *BlockView, rows []int) error {
+		bs, err := v.Bytes()
+		if err != nil {
+			return err
+		}
+		ds, err := v.Durs()
+		if err != nil {
+			return err
+		}
+		for _, i := range rows {
+			viaViews.n++
+			viaViews.bytes += bs[i]
+			viaViews.time += ds[i]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaScan struct {
+		n     int64
+		bytes int64
+		time  int64
+	}
+	for _, r := range queryRecords(in, q) {
+		viaScan.n++
+		viaScan.bytes += r.Bytes
+		viaScan.time += int64(r.Dur)
+	}
+	if viaViews != viaScan {
+		t.Fatalf("view aggregation %+v != record aggregation %+v", viaViews, viaScan)
+	}
+	if st.RecordsMatched != viaScan.n {
+		t.Fatalf("stats.RecordsMatched=%d want %d", st.RecordsMatched, viaScan.n)
+	}
+}
+
+// Early Close must not deadlock or leak the pool (mirror of the parallel
+// reader's early-close test).
+func TestColumnarScanEarlyClose(t *testing.T) {
+	in := randomRecords(5000, 3)
+	data := writeColumnar(t, in, ColumnarOptions{RecordsPerBlock: 64})
+	cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		scan := cr.Scan(MatchAll(), 4)
+		if _, err := scan.Next(); err != nil {
+			t.Fatal(err)
+		}
+		scan.Close()
+	}
+}
+
+// Columnar encoding must be several times smaller than v1 on realistic
+// repetitive traces — the format's reason to exist.
+func TestColumnarSmallerThanBinary(t *testing.T) {
+	recs := make([]Record, 8192)
+	for i := range recs {
+		rank := i % 64
+		recs[i] = Record{
+			Time: sim.Time(i) * 50 * sim.Microsecond, Dur: 120 * sim.Microsecond,
+			Node: fmt.Sprintf("cn%03d", rank/4), Rank: rank, PID: 4000 + rank,
+			Class: ClassSyscall, Name: "SYS_write",
+			Args: []string{"3", "65536"}, Ret: "65536",
+			Path:   fmt.Sprintf("/pfs/out/rank%03d/part-%04d.dat", rank, i%8),
+			Offset: int64(i/64) * 65536, Bytes: 65536, UID: 1001, GID: 100,
+		}
+	}
+	var v1, v1c bytes.Buffer
+	w1 := NewBinaryWriter(&v1, BinaryOptions{})
+	w1c := NewBinaryWriter(&v1c, BinaryOptions{Compress: true})
+	for i := range recs {
+		w1.Write(&recs[i])
+		w1c.Write(&recs[i])
+	}
+	w1.Close()
+	w1c.Close()
+	v2 := writeColumnar(t, recs, ColumnarOptions{})
+	v2c := writeColumnar(t, recs, ColumnarOptions{Compress: true})
+	if v1.Len() < 3*len(v2) {
+		t.Fatalf("v2 plain not 3x smaller: v1=%d v2=%d", v1.Len(), len(v2))
+	}
+	if v1c.Len() < 2*len(v2c) {
+		t.Fatalf("v2 compressed not 2x smaller: v1c=%d v2c=%d", v1c.Len(), len(v2c))
+	}
+}
+
+// Property: single-record columnar encode/decode is the identity.
+func TestColumnarRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomRecord(rng)
+		var buf bytes.Buffer
+		w := NewColumnarWriter(&buf, ColumnarOptions{})
+		if err := w.Write(&in); err != nil {
+			return false
+		}
+		w.Close()
+		out, err := NewColumnarSource(bytes.NewReader(buf.Bytes())).ReadAll()
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		a, b := normalizeArgs([]Record{in}), normalizeArgs(out)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The block views must expose direction bits identical to recomputing
+// Record.Direction, and lazily decoded columns must agree with records.
+func TestColumnarViewColumnsAgreeWithRecords(t *testing.T) {
+	in := randomRecords(600, 21)
+	data := writeColumnar(t, in, ColumnarOptions{RecordsPerBlock: 100})
+	cr, err := NewColumnarReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	_, err = cr.ScanViews(MatchAll(), 2, func(v *BlockView, rows []int) error {
+		dirs, err := v.Dirs()
+		if err != nil {
+			return err
+		}
+		names, err := v.Names()
+		if err != nil {
+			return err
+		}
+		offs, err := v.Offsets()
+		if err != nil {
+			return err
+		}
+		for _, i := range rows {
+			r := &in[idx]
+			if dirs[i] != r.Direction() {
+				return fmt.Errorf("row %d: dir %v != %v", idx, dirs[i], r.Direction())
+			}
+			if names[i] != r.Name || offs[i] != r.Offset {
+				return fmt.Errorf("row %d: column mismatch", idx)
+			}
+			idx++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != len(in) {
+		t.Fatalf("visited %d rows, want %d", idx, len(in))
+	}
+}

@@ -347,7 +347,10 @@ var (
 	_ Source = (*TextReader)(nil)
 	_ Source = (*BinaryReader)(nil)
 	_ Source = (*ParallelBinaryReader)(nil)
+	_ Source = (*ColumnarSource)(nil)
+	_ Source = (*ColumnarScan)(nil)
 	_ Sink   = (*TextWriter)(nil)
 	_ Sink   = (*BinaryWriter)(nil)
 	_ Sink   = (*ParallelBinaryWriter)(nil)
+	_ Sink   = (*ColumnarWriter)(nil)
 )

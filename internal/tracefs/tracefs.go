@@ -39,6 +39,10 @@ type Config struct {
 	Buffer int
 	// Compress enables flate compression of output blocks.
 	Compress bool
+	// Columnar selects the columnar v2 trace format instead of the
+	// row-ordered v1 binary format (both are "Binary" on the taxonomy's
+	// output-format axis; v2 is several times smaller and column-scannable).
+	Columnar bool
 	// Checksum enables per-block checksum verification cost accounting.
 	// (The binary format always carries CRCs; this models the optional
 	// stronger checksumming Tracefs charges extra for.)
@@ -59,6 +63,13 @@ func DefaultConfig() Config {
 	return Config{Buffer: 64, Model: interpose.VFSHook()}
 }
 
+// traceWriter is what the emitter needs from either trace format's writer:
+// buffered encode plus block cut-over on demand.
+type traceWriter interface {
+	Write(*trace.Record) error
+	Flush() error
+}
+
 // Per-byte feature costs (charged on top of the base model).
 const (
 	checksumCostPerByte = 12 * sim.Nanosecond
@@ -74,7 +85,7 @@ type FS struct {
 	enc   *anonymize.Encryptor
 
 	out    bytes.Buffer
-	writer *trace.BinaryWriter
+	writer traceWriter
 	buffer []trace.Record
 
 	// Counters aggregates events per operation name ("aggregation (via
@@ -101,10 +112,17 @@ func Mount(lower vfs.Filesystem, cfg Config) (*FS, error) {
 		cfg:      cfg,
 		Counters: make(map[string]int64),
 	}
-	f.writer = trace.NewBinaryWriter(&f.out, trace.BinaryOptions{
-		Compress:   cfg.Compress,
-		Anonymized: cfg.Encrypt,
-	})
+	if cfg.Columnar {
+		f.writer = trace.NewColumnarWriter(&f.out, trace.ColumnarOptions{
+			Compress:   cfg.Compress,
+			Anonymized: cfg.Encrypt,
+		})
+	} else {
+		f.writer = trace.NewBinaryWriter(&f.out, trace.BinaryOptions{
+			Compress:   cfg.Compress,
+			Anonymized: cfg.Encrypt,
+		})
+	}
 	if cfg.Encrypt {
 		key := cfg.Key
 		if len(key) == 0 {
@@ -212,10 +230,12 @@ func (f *FS) OutputBytes() int64 {
 }
 
 // OpenTrace streams the binary output back as records, decoding one block
-// at a time (analysis side). Each call opens an independent cursor.
+// at a time (analysis side). Each call opens an independent cursor; the
+// format is sniffed, so v1 and columnar emitters read back identically.
 func (f *FS) OpenTrace() trace.Source {
 	f.DrainForAnalysis()
-	return trace.NewBinaryReader(bytes.NewReader(f.out.Bytes()))
+	src, _, _ := trace.OpenAuto(bytes.NewReader(f.out.Bytes()))
+	return src
 }
 
 // TraceRecords decodes the binary output back into records: the slice

@@ -1,7 +1,9 @@
 package tracefs
 
 import (
+	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -349,6 +351,36 @@ func TestCompressionShrinksOutput(t *testing.T) {
 	compressed := run(true)
 	if compressed >= plain {
 		t.Fatalf("compression did not shrink: %d vs %d", compressed, plain)
+	}
+}
+
+// The columnar emitter must produce the same records as the v1 emitter —
+// the format is an output option, not a semantic one — in a smaller stream
+// that OpenTrace reads back transparently.
+func TestColumnarEmitterMatchesBinary(t *testing.T) {
+	run := func(columnar bool) (*FS, []trace.Record) {
+		env := sim.NewEnv(1)
+		cfg := DefaultConfig()
+		cfg.Columnar = columnar
+		f, _ := mountOver(t, env, cfg)
+		k := kernelWith(env, f)
+		runApp(t, env, k, 128)
+		recs, err := f.TraceRecords()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, recs
+	}
+	fBin, binRecs := run(false)
+	fCol, colRecs := run(true)
+	if !reflect.DeepEqual(binRecs, colRecs) {
+		t.Fatalf("record streams differ: %d vs %d records", len(binRecs), len(colRecs))
+	}
+	if fCol.OutputBytes() >= fBin.OutputBytes() {
+		t.Fatalf("columnar not smaller: %d vs %d bytes", fCol.OutputBytes(), fBin.OutputBytes())
+	}
+	if _, format, _ := trace.ReadAuto(bytes.NewReader(fCol.TraceBinary())); format != trace.FormatColumnar {
+		t.Fatalf("columnar output detected as %v", format)
 	}
 }
 
