@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"os"
 
+	"iotaxo/internal/analysis"
 	"iotaxo/internal/cluster"
 	"iotaxo/internal/lanltrace"
 	"iotaxo/internal/mpi"
+	"iotaxo/internal/multilayer"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 	"iotaxo/internal/workload"
 )
 
@@ -29,7 +32,7 @@ func main() {
 	barrier := flag.Int("barrier-every", 0, "insert a barrier every k objects (0 = none)")
 	collective := flag.Bool("collective", false, "use MPI_File_write_at_all (two-phase collective I/O)")
 	readBack := flag.Bool("readback", false, "read every object back after the write phase")
-	tracer := flag.String("tracer", "none", "tracer: none | strace | ltrace")
+	tracer := flag.String("tracer", "none", "tracer: none | strace | ltrace | multilayer")
 	show := flag.String("show", "", "with a tracer: raw | timing | summary (comma separated)")
 	traceOut := flag.String("trace-out", "", "with a tracer: directory for per-rank raw trace files")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -106,10 +109,59 @@ func main() {
 				fmt.Fprintf(os.Stderr, "mpi-io-test: unknown -show item %q\n", what)
 			}
 		}
+	case "multilayer":
+		ml := multilayer.Attach(c)
+		perRank := make([]workload.RankStats, c.Ranks())
+		elapsed := c.World.RunToCompletion(func(p *sim.Proc, r *mpi.Rank) {
+			workload.Program(p, r, params, &perRank[r.RankID()])
+		})
+		res := workload.ResultFromStats(params, elapsed, perRank)
+		printResult(res)
+		fmt.Println("\n--- multi-layer latency attribution ---")
+		fmt.Print(ml.Analyze().Format())
+		fmt.Println("\n--- cross-layer latency slicing ---")
+		sl, err := analysis.SliceSource(ml.AllSource(), 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpi-io-test:", err)
+			os.Exit(1)
+		}
+		fmt.Print(sl.Format())
+		if *traceOut != "" {
+			if err := writeMergedTrace(*traceOut, ml); err != nil {
+				fmt.Fprintln(os.Stderr, "mpi-io-test:", err)
+				os.Exit(1)
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mpi-io-test: unknown tracer %q\n", *tracer)
 		os.Exit(2)
 	}
+}
+
+// writeMergedTrace stores all six layers' records as one columnar (v2) trace
+// with span columns, ready for tracequery -slice.
+func writeMergedTrace(dir string, ml *multilayer.Session) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := dir + "/multilayer.col"
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := trace.NewColumnarWriter(f, trace.ColumnarOptions{})
+	n, err := trace.Copy(w, ml.AllSource())
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged trace     : %d records -> %s\n", n, path)
+	return nil
 }
 
 func printResult(res workload.Result) {

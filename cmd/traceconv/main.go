@@ -35,6 +35,7 @@ import (
 type options struct {
 	in, out, to               string
 	compress                  bool
+	spans                     bool
 	workers, blockRecs        int
 	stats                     bool
 	anonSpec, mode, key, salt string
@@ -46,6 +47,7 @@ func main() {
 	flag.StringVar(&o.out, "out", "", "output file (default stdout)")
 	flag.StringVar(&o.to, "to", "", "convert to format: v1 | v2 | text (aliases: binary = v1, columnar = v2)")
 	flag.BoolVar(&o.compress, "compress", false, "compress binary/columnar output")
+	flag.BoolVar(&o.spans, "spans", false, "encode causal span fields in v1 output (v2 stores them automatically)")
 	flag.IntVar(&o.workers, "workers", 0, "v1 codec worker goroutines (0 = GOMAXPROCS)")
 	flag.IntVar(&o.blockRecs, "block", 0, "records per output block (0 = format default: 512 for v1, 4096 for v2)")
 	flag.BoolVar(&o.stats, "stats", false, "print a call summary and I/O statistics")
@@ -156,6 +158,7 @@ func run(o options, stdout, stderr io.Writer) error {
 		encOut = trace.NewParallelBinaryWriter(w, trace.BinaryOptions{
 			Compress:        o.compress,
 			Anonymized:      anonymized,
+			Spans:           o.spans,
 			RecordsPerBlock: o.blockRecs,
 		}, o.workers)
 		sinks = append(sinks, encOut)

@@ -14,6 +14,7 @@
 //	tracequery -in trace.col -ranks 900-1000 -from 10 -to 20
 //	tracequery -in trace.col -class mpi,syscall -summary
 //	tracequery -in trace.col -ranks 0 -print -limit 20
+//	tracequery -in trace.col -slice                   # cross-layer latency slicing
 package main
 
 import (
@@ -35,9 +36,14 @@ type options struct {
 	from, to float64
 	ranks    string
 	class    string
+	offset   string
+	minbytes int64
+	span     string
 	workers  int
 	summary  bool
 	print    bool
+	slice    bool
+	paths    int
 	limit    int
 }
 
@@ -48,9 +54,14 @@ func main() {
 	flag.Float64Var(&o.to, "to", math.Inf(1), "window end in seconds")
 	flag.StringVar(&o.ranks, "ranks", "", "rank range lo-hi (or a single rank)")
 	flag.StringVar(&o.class, "class", "", "event classes, comma-separated (syscall,libcall,mpi,fsop)")
+	flag.StringVar(&o.offset, "offset", "", "file-offset range lo-hi (block stats prune non-overlapping blocks)")
+	flag.Int64Var(&o.minbytes, "minbytes", 0, "only records moving at least this many bytes")
+	flag.StringVar(&o.span, "span", "", "causal span range lo-hi (or a single span id)")
 	flag.IntVar(&o.workers, "workers", 0, "decode worker goroutines (0 = GOMAXPROCS)")
 	flag.BoolVar(&o.summary, "summary", false, "print a per-call summary table")
 	flag.BoolVar(&o.print, "print", false, "print matching records instead of aggregates")
+	flag.BoolVar(&o.slice, "slice", false, "cross-layer latency slicing over causal spans")
+	flag.IntVar(&o.paths, "paths", 3, "critical-path breakdowns to print with -slice")
 	flag.IntVar(&o.limit, "limit", 0, "stop -print after this many records (0 = all)")
 	flag.Parse()
 
@@ -96,7 +107,40 @@ func buildQuery(o options) (trace.Query, error) {
 			q = q.WithClasses(c)
 		}
 	}
+	if o.offset != "" {
+		lo, hi, err := parseRange(o.offset)
+		if err != nil {
+			return q, fmt.Errorf("-offset: %w", err)
+		}
+		q = q.WithOffsetRange(lo, hi)
+	}
+	if o.minbytes > 0 {
+		q = q.WithMinBytes(o.minbytes)
+	}
+	if o.span != "" {
+		lo, hi, err := parseRange(o.span)
+		if err != nil || lo < 0 {
+			return q, fmt.Errorf("-span: bad range %q", o.span)
+		}
+		q = q.WithSpanRange(uint64(lo), uint64(hi))
+	}
 	return q, nil
+}
+
+// parseRange accepts "lo-hi" or a single value.
+func parseRange(s string) (lo, hi int64, err error) {
+	if a, b, ok := strings.Cut(s, "-"); ok {
+		lo, err = strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+		if err == nil {
+			hi, err = strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+		}
+		if err == nil && lo > hi {
+			err = fmt.Errorf("range %q is inverted", s)
+		}
+		return lo, hi, err
+	}
+	lo, err = strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return lo, lo, err
 }
 
 // parseRanks accepts "lo-hi" or a single rank.
@@ -143,6 +187,9 @@ func run(o options, stdout io.Writer) error {
 	if o.print {
 		return printRecords(cr, q, o, stdout)
 	}
+	if o.slice {
+		return sliceRecords(cr, q, o, stdout)
+	}
 
 	stats, scan, err := analysis.ColumnarIOStats(cr, q, o.workers)
 	if err != nil {
@@ -168,8 +215,9 @@ func run(o options, stdout io.Writer) error {
 	if scan.BlocksTotal > 0 {
 		pct = 100 * float64(scan.BlocksDecoded) / float64(scan.BlocksTotal)
 	}
-	fmt.Fprintf(stdout, "scan: decoded %d of %d blocks (%.1f%%), read %d of %d file bytes\n",
-		scan.BlocksDecoded, scan.BlocksTotal, pct, scan.BytesRead, st.Size())
+	fmt.Fprintf(stdout, "scan: decoded %d of %d blocks (%.1f%%), read %d of %d file bytes%s\n",
+		scan.BlocksDecoded, scan.BlocksTotal, pct, scan.BytesRead, st.Size(),
+		statsPruned(scan))
 	if sum != nil {
 		fmt.Fprint(stdout, sum.Format())
 	}
@@ -187,6 +235,15 @@ func describeQuery(o options) string {
 	}
 	if o.class != "" {
 		parts = append(parts, "class "+o.class)
+	}
+	if o.offset != "" {
+		parts = append(parts, "offset "+o.offset)
+	}
+	if o.minbytes > 0 {
+		parts = append(parts, fmt.Sprintf("bytes >= %d", o.minbytes))
+	}
+	if o.span != "" {
+		parts = append(parts, "span "+o.span)
 	}
 	if len(parts) == 0 {
 		return "all records"
@@ -210,12 +267,54 @@ func printRecords(cr *trace.ColumnarReader, q trace.Query, o options, stdout io.
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%s rank=%d %s = %s <%s>\n",
-			trace.FormatLocalTime(rec.Time), rec.Rank, rec.CallString(), rec.Ret, rec.Dur)
+		fmt.Fprintf(stdout, "%s rank=%d %s = %s <%s>%s\n",
+			trace.FormatLocalTime(rec.Time), rec.Rank, rec.CallString(), rec.Ret, rec.Dur,
+			spanSuffix(rec))
 		n++
 	}
 	stats := s.Stats()
-	fmt.Fprintf(stdout, "# %d records printed, decoded %d of %d blocks\n",
-		n, stats.BlocksDecoded, stats.BlocksTotal)
+	fmt.Fprintf(stdout, "# %d records printed, decoded %d of %d blocks%s\n",
+		n, stats.BlocksDecoded, stats.BlocksTotal, statsPruned(stats))
+	return nil
+}
+
+// spanSuffix renders a record's causal span compactly; span-less records
+// (old traces) render exactly as before.
+func spanSuffix(rec trace.Record) string {
+	if !rec.HasSpan() {
+		return ""
+	}
+	return fmt.Sprintf(" [s%d<p%d]", rec.Span, rec.Parent)
+}
+
+// statsPruned reports span/offset/bytes column pruning when it fired.
+func statsPruned(s trace.ScanStats) string {
+	if s.BlocksPrunedByStats == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d pruned by column stats", s.BlocksPrunedByStats)
+}
+
+// sliceRecords drains the matching records and prints the cross-layer
+// latency slicing report.
+func sliceRecords(cr *trace.ColumnarReader, q trace.Query, o options, stdout io.Writer) error {
+	s := cr.Scan(q, o.workers)
+	defer s.Close()
+	var recs []trace.Record
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec)
+	}
+	sl := analysis.SliceRecords(recs, o.paths)
+	fmt.Fprint(stdout, sl.Format())
+	stats := s.Stats()
+	fmt.Fprintf(stdout, "# sliced %d records, decoded %d of %d blocks%s\n",
+		len(recs), stats.BlocksDecoded, stats.BlocksTotal, statsPruned(stats))
 	return nil
 }

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
+)
+
+// chainRecords builds MPI(100) -> syscall(80) -> fsop(60) plus one
+// span-less record, with spans 1..3.
+func chainRecords() []trace.Record {
+	return []trace.Record{
+		{Class: trace.ClassMPI, Name: "MPI_File_write_at", Dur: 100, Span: 1},
+		{Class: trace.ClassSyscall, Name: "SYS_pwrite", Dur: 80, Span: 2, Parent: 1},
+		{Class: trace.ClassFSOp, Name: "VFS_write", Dur: 60, Span: 3, Parent: 2},
+		{Class: trace.ClassSyscall, Name: "SYS_close", Dur: 5},
+	}
+}
+
+func TestSliceExclusiveTime(t *testing.T) {
+	s := SliceRecords(chainRecords(), 1)
+	if s.Spanless != 1 {
+		t.Fatalf("spanless = %d, want 1", s.Spanless)
+	}
+	want := map[string]sim.Duration{"library": 20, "kernel": 20, "vfs": 60}
+	for _, ls := range s.Layers {
+		if ls.Exclusive != want[ls.Layer] {
+			t.Fatalf("%s exclusive = %v, want %v", ls.Layer, ls.Exclusive, want[ls.Layer])
+		}
+		delete(want, ls.Layer)
+	}
+	if len(want) != 0 {
+		t.Fatalf("layers missing from slice: %v", want)
+	}
+	if len(s.Paths) != 1 || len(s.Paths[0].Steps) != 2 {
+		t.Fatalf("critical path = %+v, want 2 steps below the MPI root", s.Paths)
+	}
+	if s.Paths[0].Root.Name != "MPI_File_write_at" || s.Paths[0].Steps[1].Layer != "vfs" {
+		t.Fatalf("critical path wrong shape: %+v", s.Paths[0])
+	}
+}
+
+func TestSliceClampsParallelChildren(t *testing.T) {
+	// Two concurrent children whose summed duration exceeds the parent
+	// (striped RPC fan-out): exclusive time clamps at zero, not negative.
+	recs := []trace.Record{
+		{Class: trace.ClassFSOp, Name: "VFS_write", Dur: 50, Span: 1},
+		{Class: trace.ClassNetMsg, Name: "NET_deliver", Dur: 40, Span: 2, Parent: 1},
+		{Class: trace.ClassNetMsg, Name: "NET_deliver", Dur: 45, Span: 3, Parent: 1},
+	}
+	s := SliceRecords(recs, 0)
+	for _, ls := range s.Layers {
+		if ls.Layer == "vfs" && ls.Exclusive != 0 {
+			t.Fatalf("vfs exclusive = %v, want 0 (clamped)", ls.Exclusive)
+		}
+		if ls.Exclusive < 0 {
+			t.Fatalf("negative exclusive time: %+v", ls)
+		}
+	}
+}
+
+func TestSliceFormatSpanless(t *testing.T) {
+	s := SliceRecords([]trace.Record{{Class: trace.ClassSyscall, Dur: 10}}, 3)
+	out := s.Format()
+	if !strings.Contains(out, "no span-carrying records") {
+		t.Fatalf("span-less slice did not degrade gracefully:\n%s", out)
+	}
+}

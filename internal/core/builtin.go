@@ -20,6 +20,7 @@ func PaperLANLTrace() *Classification {
 		AnalysisTools:     false,
 		DataFormat:        FormatHumanReadable,
 		AccountsSkewDrift: "Yes",
+		CrossLayerSlicing: false,
 		ElapsedOverhead: OverheadReport{
 			Measured:    true,
 			ElapsedMin:  0.24,
@@ -50,6 +51,7 @@ func PaperTracefs() *Classification {
 		AnalysisTools:     false,
 		DataFormat:        FormatBinary,
 		AccountsSkewDrift: "N/A",
+		CrossLayerSlicing: false,
 		ElapsedOverhead: OverheadReport{
 			Measured:    true,
 			ElapsedMin:  0,
@@ -83,6 +85,7 @@ func PaperParallelTrace() *Classification {
 		AnalysisTools:     false,
 		DataFormat:        FormatHumanReadable,
 		AccountsSkewDrift: "No",
+		CrossLayerSlicing: false,
 		ElapsedOverhead: OverheadReport{
 			Measured:    true,
 			ElapsedMin:  0,

@@ -78,6 +78,7 @@ func TestTable1TemplateHasAllAxes(t *testing.T) {
 		"Analysis tools",
 		"Trace data format",
 		"Accounts for time skew and drift",
+		"Cross-layer latency slicing",
 		"Elapsed time overhead",
 	} {
 		if !strings.Contains(tmpl, axis) {
@@ -96,7 +97,7 @@ func TestRenderCardSingleColumn(t *testing.T) {
 func TestFeatureRowsStableOrderAcrossClassifications(t *testing.T) {
 	a := PaperLANLTrace().FeatureRows()
 	b := PaperParallelTrace().FeatureRows()
-	if len(a) != len(b) || len(a) != 13 {
+	if len(a) != len(b) || len(a) != 14 {
 		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
@@ -112,8 +113,8 @@ func TestRenderMarkdown(t *testing.T) {
 		t.Fatalf("markdown:\n%s", md)
 	}
 	lines := strings.Split(strings.TrimSpace(md), "\n")
-	// Header + separator + 13 feature rows.
-	if len(lines) != 15 {
+	// Header + separator + 14 feature rows.
+	if len(lines) != 16 {
 		t.Fatalf("markdown has %d lines", len(lines))
 	}
 }

@@ -21,6 +21,7 @@ func Table1Template() string {
 		{"Analysis tools", "[Yes or No]"},
 		{"Trace data format", "[Binary or Human readable]"},
 		{"Accounts for time skew and drift", "[Yes or No]"},
+		{"Cross-layer latency slicing", "[Yes or No]"},
 		{"Elapsed time overhead", "Describe experiment results"},
 	}
 	return renderTable([]string{"Feature", "<I/O Tracing Framework Name>"},

@@ -141,6 +141,10 @@ type Classification struct {
 	AnalysisTools     YesNo
 	DataFormat        DataFormat
 	AccountsSkewDrift string // "Yes", "No", or "N/A" per Table 2
+	// CrossLayerSlicing marks frameworks that can attribute one operation's
+	// latency across instrumentation layers (library/kernel/servers/disks),
+	// the ReLayTracer-style capability causal spans enable.
+	CrossLayerSlicing YesNo
 	ElapsedOverhead   OverheadReport
 
 	// Notes holds free-text qualifications rendered as footnotes.
@@ -204,6 +208,7 @@ func (c *Classification) FeatureRows() [][2]string {
 		{"Analysis tools", c.AnalysisTools.String()},
 		{"Trace data format", string(c.DataFormat)},
 		{"Accounts for time skew and drift", c.AccountsSkewDrift},
+		{"Cross-layer latency slicing", c.CrossLayerSlicing.String()},
 		{"Elapsed time overhead", c.ElapsedOverhead.String()},
 	}
 }

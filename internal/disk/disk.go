@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 // Config fixes one drive's performance envelope (2007-era SATA/FC drive).
@@ -169,6 +170,48 @@ type Array struct {
 	cfg   ArrayConfig
 	env   *sim.Env
 	disks []*Disk
+
+	// tracer, when set, receives one coarse ClassDiskIO record per array
+	// call (not per member-drive transfer), labelled with node.
+	tracer func(*trace.Record)
+	node   string
+}
+
+// SetTracer installs (or, with nil fn, removes) the array-call tracer.
+// node labels emitted records with the owning server's node name.
+func (a *Array) SetTracer(node string, fn func(*trace.Record)) {
+	a.node, a.tracer = node, fn
+}
+
+// traceDone wraps an array call's completion to emit one ClassDiskIO record
+// spanning the whole call. With no tracer attached it is the identity, so
+// untraced arrays allocate no span and pay nothing.
+func (a *Array) traceDone(name string, off, length int64, parent uint64, done func(error)) func(error) {
+	if a.tracer == nil {
+		return done
+	}
+	span := a.env.NextSpanID()
+	start := a.env.Now()
+	return func(err error) {
+		ret := "0"
+		if err != nil {
+			ret = "-1 " + err.Error()
+		}
+		a.tracer(&trace.Record{
+			Time:   start,
+			Dur:    a.env.Now() - start,
+			Node:   a.node,
+			Rank:   -1,
+			Class:  trace.ClassDiskIO,
+			Name:   name,
+			Ret:    ret,
+			Offset: off,
+			Bytes:  length,
+			Span:   span,
+			Parent: parent,
+		})
+		done(err)
+	}
 }
 
 // NewArray builds the group. Disks must be >= 3 for RAID-5.
@@ -253,7 +296,9 @@ func (a *Array) parityDisk(row int64) int {
 // finishes. Reads on a group with one failed drive are reconstructed from
 // the surviving drives (degraded mode); two failures return ErrFailed.
 func (a *Array) Read(p *sim.Proc, off, length int64) error {
+	fin := a.traceDone("DISK_read", off, length, p.Span(), func(error) {})
 	if err := a.checkHealth(); err != nil && errors.Is(err, ErrFailed) {
+		fin(err)
 		return err
 	}
 	ops := a.Layout(off, length)
@@ -261,7 +306,9 @@ func (a *Array) Read(p *sim.Proc, off, length int64) error {
 	if degraded {
 		ops = a.degradeReads(ops)
 	}
-	return a.execute(p, ops)
+	err := a.execute(p, ops)
+	fin(err)
+	return err
 }
 
 // Write transfers a logical byte range to the array, adding parity I/O:
@@ -269,7 +316,9 @@ func (a *Array) Read(p *sim.Proc, off, length int64) error {
 // (read old data + old parity, write new data + new parity) unless the
 // ablation flag disables it.
 func (a *Array) Write(p *sim.Proc, off, length int64) error {
+	fin := a.traceDone("DISK_write", off, length, p.Span(), func(error) {})
 	if err := a.checkHealth(); err != nil {
+		fin(err)
 		return err
 	}
 	ops := a.Layout(off, length)
@@ -277,7 +326,9 @@ func (a *Array) Write(p *sim.Proc, off, length int64) error {
 		ops[i].write = true
 	}
 	ops = append(ops, a.parityOps(off, length)...)
-	return a.execute(p, ops)
+	err := a.execute(p, ops)
+	fin(err)
+	return err
 }
 
 // parityOps plans the parity (and RMW) traffic for a write.
@@ -343,6 +394,13 @@ func (a *Array) degradeReads(ops []unitOp) []unitOp {
 // and parallel member transfers, driven entirely by scheduled events, with
 // done(err) called when the slowest drive finishes.
 func (a *Array) ReadThen(off, length int64, done func(error)) {
+	a.ReadThenSpan(off, length, 0, done)
+}
+
+// ReadThenSpan is ReadThen with the caller's causal span; the emitted
+// DISK_read record (if a tracer is attached) is parented under it.
+func (a *Array) ReadThenSpan(off, length int64, parent uint64, done func(error)) {
+	done = a.traceDone("DISK_read", off, length, parent, done)
 	if err := a.checkHealth(); err != nil && errors.Is(err, ErrFailed) {
 		done(err)
 		return
@@ -358,6 +416,12 @@ func (a *Array) ReadThen(off, length int64, done func(error)) {
 // WriteThen is the event-chain twin of Write, including parity and
 // read-modify-write traffic.
 func (a *Array) WriteThen(off, length int64, done func(error)) {
+	a.WriteThenSpan(off, length, 0, done)
+}
+
+// WriteThenSpan is WriteThen with the caller's causal span.
+func (a *Array) WriteThenSpan(off, length int64, parent uint64, done func(error)) {
+	done = a.traceDone("DISK_write", off, length, parent, done)
 	if err := a.checkHealth(); err != nil {
 		done(err)
 		return

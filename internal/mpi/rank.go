@@ -59,21 +59,29 @@ func (r *Rank) libcallEnrich(p *sim.Proc, name string, args func() []string, bod
 	for _, h := range r.libHooks {
 		h.Enter(p, name)
 	}
+	// Span allocation is unconditional: the counter has zero effect on the
+	// schedule, and child layers need the context even when only a deeper
+	// tracer is attached.
+	span := p.Env().NextSpanID()
+	parent := p.SetSpan(span)
 	start := p.Now()
 	ret, enrich := body()
 	dur := p.Now() - start
+	p.SetSpan(parent)
 	r.LibCalls++
 	if len(r.libHooks) > 0 {
 		rec := trace.Record{
-			Time:  r.pc.Kernel().LocalTime(start),
-			Dur:   dur,
-			Node:  r.node,
-			Rank:  r.rank,
-			PID:   r.pc.PID(),
-			Class: trace.ClassMPI,
-			Name:  name,
-			Args:  args(),
-			Ret:   ret,
+			Time:   r.pc.Kernel().LocalTime(start),
+			Dur:    dur,
+			Node:   r.node,
+			Rank:   r.rank,
+			PID:    r.pc.PID(),
+			Class:  trace.ClassMPI,
+			Name:   name,
+			Args:   args(),
+			Ret:    ret,
+			Span:   span,
+			Parent: parent,
 		}
 		trace.InferIOFields(&rec)
 		if enrich != nil {

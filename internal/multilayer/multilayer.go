@@ -34,11 +34,16 @@ import (
 // Layer identifies an instrumentation layer.
 type Layer int
 
-// The instrumented layers.
+// The instrumented layers. The first three are the classic Lu & Shen
+// probes; the net/PFS/disk layers are the server-side extension that the
+// causal-span propagation makes attributable.
 const (
 	LayerLibrary Layer = iota
 	LayerSyscall
 	LayerFS
+	LayerNet
+	LayerPFS
+	LayerDisk
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +55,12 @@ func (l Layer) String() string {
 		return "kernel"
 	case LayerFS:
 		return "storage"
+	case LayerNet:
+		return "net"
+	case LayerPFS:
+		return "pfs"
+	case LayerDisk:
+		return "disk"
 	default:
 		return fmt.Sprintf("layer(%d)", int(l))
 	}
@@ -61,6 +72,13 @@ type Session struct {
 	lib     []*interpose.Collector // per rank
 	sys     []*interpose.Collector // per rank
 	fs      []*fsLayer             // per compute node
+
+	// Server-side layers, fed by the netsim / pfs / disk tracers. These
+	// records carry Rank -1 and global (env) timestamps; the span fields
+	// tie them back into the per-rank causal chains.
+	netCol  interpose.Collector
+	pfsCol  interpose.Collector
+	diskCol interpose.Collector
 }
 
 // Attach instruments every rank of the cluster at all three layers. Must
@@ -98,6 +116,17 @@ func Attach(c *cluster.Cluster) *Session {
 		k.Mount(cluster.PFSMount, fl)
 		s.fs = append(s.fs, fl)
 	}
+	// Arm the three server-side layers. The network tracer emits one
+	// delivery record per message; the PFS tracer covers both the request
+	// handlers and (routed by class) the RAID groups beneath them.
+	c.Net.SetTracer(func(r *trace.Record) { s.netCol.Emit(r) })
+	c.PFS.SetTracer(func(r *trace.Record) {
+		if r.Class == trace.ClassDiskIO {
+			s.diskCol.Emit(r)
+			return
+		}
+		s.pfsCol.Emit(r)
+	})
 	return s
 }
 
@@ -116,7 +145,17 @@ type fsLayer struct {
 func (f *fsLayer) FSName() string               { return f.lower.FSName() }
 func (f *fsLayer) VNodeStackingSupported() bool { return vfs.CanStack(f.lower) }
 
-func (f *fsLayer) emit(name, path string, offset, bytes int64, start sim.Time, p *sim.Proc) {
+// begin opens the FS op's causal span. It must run BEFORE the lower layer is
+// called so that the client's RPCs (and everything beneath them) record this
+// span as their parent; emit closes it.
+func (f *fsLayer) begin(p *sim.Proc) (span, parent uint64, start sim.Time) {
+	span = p.Env().NextSpanID()
+	parent = p.SetSpan(span)
+	return span, parent, p.Now()
+}
+
+func (f *fsLayer) emit(name, path string, offset, bytes int64, start sim.Time, span, parent uint64, p *sim.Proc) {
+	p.SetSpan(parent)
 	local := f.kernel.LocalTime(start)
 	f.col.Emit(&trace.Record{
 		Time:   local,
@@ -129,14 +168,16 @@ func (f *fsLayer) emit(name, path string, offset, bytes int64, start sim.Time, p
 		Offset: offset,
 		Bytes:  bytes,
 		Ret:    "0",
+		Span:   span,
+		Parent: parent,
 	})
 }
 
 // Open implements vfs.Filesystem.
 func (f *fsLayer) Open(p *sim.Proc, path string, flags vfs.OpenFlag, mode int, cred vfs.Cred) (vfs.File, error) {
-	start := p.Now()
+	span, parent, start := f.begin(p)
 	file, err := f.lower.Open(p, path, flags, mode, cred)
-	f.emit("VFS_open", path, 0, 0, start, p)
+	f.emit("VFS_open", path, 0, 0, start, span, parent, p)
 	if err != nil {
 		return nil, err
 	}
@@ -145,17 +186,17 @@ func (f *fsLayer) Open(p *sim.Proc, path string, flags vfs.OpenFlag, mode int, c
 
 // Stat implements vfs.Filesystem.
 func (f *fsLayer) Stat(p *sim.Proc, path string) (vfs.FileAttr, error) {
-	start := p.Now()
+	span, parent, start := f.begin(p)
 	attr, err := f.lower.Stat(p, path)
-	f.emit("VFS_lookup", path, 0, 0, start, p)
+	f.emit("VFS_lookup", path, 0, 0, start, span, parent, p)
 	return attr, err
 }
 
 // Unlink implements vfs.Filesystem.
 func (f *fsLayer) Unlink(p *sim.Proc, path string, cred vfs.Cred) error {
-	start := p.Now()
+	span, parent, start := f.begin(p)
 	err := f.lower.Unlink(p, path, cred)
-	f.emit("VFS_unlink", path, 0, 0, start, p)
+	f.emit("VFS_unlink", path, 0, 0, start, span, parent, p)
 	return err
 }
 
@@ -169,30 +210,30 @@ type fsLayerFile struct {
 }
 
 func (h *fsLayerFile) WriteAt(p *sim.Proc, offset, length int64) (int64, error) {
-	start := p.Now()
+	span, parent, start := h.layer.begin(p)
 	n, err := h.lower.WriteAt(p, offset, length)
-	h.layer.emit("VFS_write", h.path, offset, n, start, p)
+	h.layer.emit("VFS_write", h.path, offset, n, start, span, parent, p)
 	return n, err
 }
 
 func (h *fsLayerFile) ReadAt(p *sim.Proc, offset, length int64) (int64, error) {
-	start := p.Now()
+	span, parent, start := h.layer.begin(p)
 	n, err := h.lower.ReadAt(p, offset, length)
-	h.layer.emit("VFS_read", h.path, offset, n, start, p)
+	h.layer.emit("VFS_read", h.path, offset, n, start, span, parent, p)
 	return n, err
 }
 
 func (h *fsLayerFile) Sync(p *sim.Proc) error {
-	start := p.Now()
+	span, parent, start := h.layer.begin(p)
 	err := h.lower.Sync(p)
-	h.layer.emit("VFS_sync", h.path, 0, 0, start, p)
+	h.layer.emit("VFS_sync", h.path, 0, 0, start, span, parent, p)
 	return err
 }
 
 func (h *fsLayerFile) Close(p *sim.Proc) error {
-	start := p.Now()
+	span, parent, start := h.layer.begin(p)
 	err := h.lower.Close(p)
-	h.layer.emit("VFS_close", h.path, 0, 0, start, p)
+	h.layer.emit("VFS_close", h.path, 0, 0, start, span, parent, p)
 	return err
 }
 
@@ -215,16 +256,26 @@ func (s *Session) LayerSource(l Layer) trace.Source {
 		for _, fl := range s.fs {
 			srcs = append(srcs, fl.col.Source())
 		}
+	case LayerNet:
+		srcs = append(srcs, s.netCol.Source())
+	case LayerPFS:
+		srcs = append(srcs, s.pfsCol.Source())
+	case LayerDisk:
+		srcs = append(srcs, s.diskCol.Source())
 	}
 	return trace.ChainSources(srcs...)
 }
 
-// AllSource streams every layer's records back to back.
+// AllSource streams every layer's records back to back, client layers first,
+// then the server-side net/PFS/disk layers.
 func (s *Session) AllSource() trace.Source {
 	return trace.ChainSources(
 		s.LayerSource(LayerLibrary),
 		s.LayerSource(LayerSyscall),
 		s.LayerSource(LayerFS),
+		s.LayerSource(LayerNet),
+		s.LayerSource(LayerPFS),
+		s.LayerSource(LayerDisk),
 	)
 }
 
@@ -275,12 +326,80 @@ func sortedByTime(recs []trace.Record) []trace.Record {
 	return out
 }
 
-// Analyze correlates the three layers' events per rank. Because each
-// layer's records are time-sorted, the candidates nested inside an interval
-// form a contiguous window: a binary search finds its left edge and a
-// bounded forward sweep consumes it, replacing the all-pairs
-// O(lib x sys x fs) scan with O((lib + sys + fs) log n + matches).
+// Analyze correlates the three client layers' events per rank by exact
+// causal join: every record carries the span of the operation that issued it
+// (Parent), so a syscall belongs to the MPI call whose span it names and an
+// FS op to the syscall whose span it names — no time windows, no slack, no
+// ambiguity between back-to-back calls. AnalyzeWindowed retains the interval
+// sweep as a cross-check oracle.
 func (s *Session) Analyze() Breakdown {
+	var out Breakdown
+	fsByRank := make(map[int][]trace.Record)
+	for _, fl := range s.fs {
+		fsByRank[fl.rank] = append(fsByRank[fl.rank], fl.col.Records...)
+	}
+	for rank := range s.lib {
+		libRecs := s.lib[rank].Records
+		sysRecs := s.sys[rank].Records
+		fsRecs := fsByRank[rank]
+		sysByParent := make(map[uint64][]int, len(sysRecs))
+		for j := range sysRecs {
+			sysByParent[sysRecs[j].Parent] = append(sysByParent[sysRecs[j].Parent], j)
+		}
+		fsByParent := make(map[uint64][]int, len(fsRecs))
+		for k := range fsRecs {
+			fsByParent[fsRecs[k].Parent] = append(fsByParent[fsRecs[k].Parent], k)
+		}
+		var attributedSys, attributedFS int
+		for i := range libRecs {
+			mpiRec := &libRecs[i]
+			if !strings.HasPrefix(mpiRec.Name, "MPI_File_") {
+				continue
+			}
+			cb := CallBreakdown{
+				Rank:  mpiRec.Rank,
+				Name:  mpiRec.Name,
+				Path:  mpiRec.Path,
+				Bytes: mpiRec.Bytes,
+				Total: mpiRec.Dur,
+			}
+			var sysTime, fsTime sim.Duration
+			for _, j := range sysByParent[mpiRec.Span] {
+				cb.NestedSyscalls++
+				attributedSys++
+				sysTime += sysRecs[j].Dur
+				for _, k := range fsByParent[sysRecs[j].Span] {
+					cb.NestedFSOps++
+					attributedFS++
+					fsTime += fsRecs[k].Dur
+				}
+			}
+			cb.Library = cb.Total - sysTime
+			cb.Kernel = sysTime - fsTime
+			cb.Storage = fsTime
+			if cb.Library < 0 {
+				cb.Library = 0
+			}
+			if cb.Kernel < 0 {
+				cb.Kernel = 0
+			}
+			out.Calls = append(out.Calls, cb)
+		}
+		out.Orphan += len(sysRecs) - attributedSys
+		out.Orphan += len(fsRecs) - attributedFS
+	}
+	sort.SliceStable(out.Calls, func(i, j int) bool { return out.Calls[i].Rank < out.Calls[j].Rank })
+	return out
+}
+
+// AnalyzeWindowed correlates the layers by interval containment, the
+// pre-span approach. Because each layer's records are time-sorted, the
+// candidates nested inside an interval form a contiguous window: a binary
+// search finds its left edge and a bounded forward sweep consumes it,
+// replacing the all-pairs O(lib x sys x fs) scan with
+// O((lib + sys + fs) log n + matches). Kept as the oracle the exact span
+// join is tested against.
+func (s *Session) AnalyzeWindowed() Breakdown {
 	const slack = 50 * sim.Microsecond
 	var out Breakdown
 	// Index FS records by rank.
@@ -408,6 +527,7 @@ func Classification() *core.Classification {
 		AnalysisTools:     true,
 		DataFormat:        core.FormatHumanReadable,
 		AccountsSkewDrift: "No",
+		CrossLayerSlicing: true,
 		ElapsedOverhead: core.OverheadReport{
 			Measured:    false,
 			Description: "in-process probes at three layers; low single digits",

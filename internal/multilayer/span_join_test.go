@@ -1,0 +1,61 @@
+package multilayer
+
+import (
+	"reflect"
+	"testing"
+
+	"iotaxo/internal/cluster"
+	"iotaxo/internal/mpi"
+	"iotaxo/internal/sim"
+	"iotaxo/internal/workload"
+)
+
+// TestSpanJoinMatchesWindowedOracle pins the tentpole refactor: the exact
+// span-join Analyze must reproduce the slack-windowed correlation (kept as
+// AnalyzeWindowed, the oracle) bit for bit across a spread of workload
+// shapes. Run under -race in CI, this also exercises the tracer hooks and
+// span allocator for data races.
+func TestSpanJoinMatchesWindowedOracle(t *testing.T) {
+	trials := []workload.Params{
+		{Pattern: workload.N1NonStrided, BlockSize: 64 << 10, NObj: 3, Path: "/pfs/a.out"},
+		{Pattern: workload.N1Strided, BlockSize: 128 << 10, NObj: 4, Path: "/pfs/b.out"},
+		{Pattern: workload.N1Strided, BlockSize: 32 << 10, NObj: 6, Path: "/pfs/c.out", BarrierEvery: 2},
+		{Pattern: workload.NToN, BlockSize: 256 << 10, NObj: 2, Path: "/pfs/d.out"},
+		{Pattern: workload.NToN, BlockSize: 16 << 10, NObj: 5, Path: "/pfs/e.out", ReadBack: true},
+		{Pattern: workload.N1NonStrided, BlockSize: 8 << 10, NObj: 8, Path: "/pfs/f.out", ReadBack: true, BarrierEvery: 3},
+	}
+	for _, params := range trials {
+		params := params
+		t.Run(params.Pattern.String()+"/"+params.Path, func(t *testing.T) {
+			t.Parallel()
+			cfg := cluster.Small()
+			cfg.MaxSkew = 0
+			cfg.MaxDrift = 0
+			c := cluster.New(cfg)
+			s := Attach(c)
+			c.World.RunToCompletion(func(p *sim.Proc, r *mpi.Rank) {
+				workload.Program(p, r, params, nil)
+			})
+			exact := s.Analyze()
+			oracle := s.AnalyzeWindowed()
+			if exact.Orphan != oracle.Orphan {
+				t.Fatalf("orphans: span join %d, windowed oracle %d", exact.Orphan, oracle.Orphan)
+			}
+			if !reflect.DeepEqual(exact.Calls, oracle.Calls) {
+				if len(exact.Calls) != len(oracle.Calls) {
+					t.Fatalf("call counts: span join %d, windowed oracle %d",
+						len(exact.Calls), len(oracle.Calls))
+				}
+				for i := range exact.Calls {
+					if !reflect.DeepEqual(exact.Calls[i], oracle.Calls[i]) {
+						t.Fatalf("call %d diverges:\n span join: %+v\n  windowed: %+v",
+							i, exact.Calls[i], oracle.Calls[i])
+					}
+				}
+			}
+			if len(exact.Calls) == 0 {
+				t.Fatal("no correlated calls — workload did not trace")
+			}
+		})
+	}
+}

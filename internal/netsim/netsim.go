@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 // Config fixes the interconnect's physical parameters.
@@ -45,6 +46,13 @@ type Message struct {
 	Port    int
 	Size    int64 // payload bytes (framing added by the network)
 	Payload any
+
+	// Span is the causal span the message travels under: the sender's
+	// current span (stamped automatically by Send/Call, explicitly by the
+	// event-chain variants). When a network tracer is attached, delivery
+	// records a ClassNetMsg child span and rewrites this field to it, so the
+	// receiver's records parent to the network hop.
+	Span uint64
 }
 
 // Iface is one node's network interface. The tx/rx resources are embedded
@@ -98,7 +106,14 @@ type Network struct {
 	// never grown, only replaced when full).
 	ifaceArena []Iface
 	boxArena   []sim.Mailbox[Message]
+
+	// tracer, when set, receives one ClassNetMsg record per message
+	// delivery. Untraced networks pay nothing on the delivery path.
+	tracer func(*trace.Record)
 }
+
+// SetTracer installs (or, with nil, removes) the delivery tracer.
+func (n *Network) SetTracer(fn func(*trace.Record)) { n.tracer = fn }
 
 // New returns an empty network with the given configuration.
 func New(env *sim.Env, cfg Config) *Network {
@@ -203,6 +218,9 @@ func (n *Network) Send(p *sim.Proc, msg Message) {
 		panic(fmt.Sprintf("netsim: send to %s:%d with no listener", msg.To, msg.Port))
 	}
 	wire := n.wireBytes(msg.Size)
+	if msg.Span == 0 {
+		msg.Span = p.Span()
+	}
 	p.Sleep(n.cfg.PerMessageCPU)
 	src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
 	src.BytesSent += wire
@@ -245,11 +263,32 @@ func (n *Network) SendThen(msg Message, done func()) {
 // O(processes) instead of O(in-flight messages).
 func (n *Network) deliver(dst *Iface, box *sim.Mailbox[Message], msg Message, wire int64) {
 	rxTime := sim.DurationOf(wire, n.cfg.BandwidthBps)
+	start := n.env.Now()
 	n.env.After(0, func() {
 		n.env.After(n.cfg.Latency, func() {
 			dst.rx.HoldForThen(rxTime, func() {
 				dst.BytesReceived += wire
 				dst.MsgsReceived++
+				if n.tracer != nil {
+					// Record the hop as a child span and hand that span to
+					// the receiver, so its records parent to the network
+					// layer; with no tracer the sender's span passes through
+					// untouched and the chain simply skips this layer.
+					span := n.env.NextSpanID()
+					n.tracer(&trace.Record{
+						Time:   start,
+						Dur:    n.env.Now() - start,
+						Node:   dst.name,
+						Rank:   -1,
+						Class:  trace.ClassNetMsg,
+						Name:   "NET_deliver",
+						Ret:    "0",
+						Bytes:  msg.Size,
+						Span:   span,
+						Parent: msg.Span,
+					})
+					msg.Span = span
+				}
 				box.Put(msg)
 			})
 		})
@@ -282,9 +321,16 @@ func (n *Network) Call(p *sim.Proc, from, to string, port int, reqSize int64, re
 // Call would resume. The private reply mailbox is consumed with GetThen, so
 // no process parks anywhere on the path.
 func (n *Network) CallThen(from, to string, port int, reqSize int64, req any, done func(resp any)) {
+	n.CallThenSpan(from, to, port, reqSize, req, 0, done)
+}
+
+// CallThenSpan is CallThen carrying an explicit causal span for the request
+// message. Event-chain callers have no process to stamp from, so they capture
+// the span before entering the chain and pass it here.
+func (n *Network) CallThenSpan(from, to string, port int, reqSize int64, req any, span uint64, done func(resp any)) {
 	reply := sim.NewMailbox[Message](n.env)
 	n.SendThen(Message{From: from, To: to, Port: port, Size: reqSize,
-		Payload: rpc{Req: req, Reply: reply}}, func() {
+		Payload: rpc{Req: req, Reply: reply}, Span: span}, func() {
 		reply.GetThen(func(m Message) { done(m.Payload) })
 	})
 }
@@ -300,10 +346,12 @@ func (n *Network) ServeRequest(server string, msg Message) (req any, respond fun
 	}
 	reply := call.Reply
 	from := msg.From
+	reqSpan := msg.Span
 	return call.Req, func(p *sim.Proc, respSize int64, resp any) {
 		// The response travels the reverse path: serialize on the server's
 		// tx, cross the switch, serialize on the client's rx, delivered by
-		// the same zero-goroutine event chain as Send.
+		// the same zero-goroutine event chain as Send. It rides under the
+		// request's span, so the reply hop joins the same causal subtree.
 		src := n.Iface(server)
 		dst := n.Iface(from)
 		wire := n.wireBytes(respSize)
@@ -311,7 +359,7 @@ func (n *Network) ServeRequest(server string, msg Message) (req any, respond fun
 		src.tx.HoldFor(p, sim.DurationOf(wire, n.cfg.BandwidthBps))
 		src.BytesSent += wire
 		src.MsgsSent++
-		n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp}, wire)
+		n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp, Span: reqSpan}, wire)
 	}
 }
 
@@ -328,6 +376,7 @@ func (n *Network) ServeRequestThen(server string, msg Message) (req any, respond
 	}
 	reply := call.Reply
 	from := msg.From
+	reqSpan := msg.Span
 	return call.Req, func(respSize int64, resp any, done func()) {
 		src := n.Iface(server)
 		dst := n.Iface(from)
@@ -336,7 +385,7 @@ func (n *Network) ServeRequestThen(server string, msg Message) (req any, respond
 			src.tx.HoldForThen(sim.DurationOf(wire, n.cfg.BandwidthBps), func() {
 				src.BytesSent += wire
 				src.MsgsSent++
-				n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp}, wire)
+				n.deliver(dst, reply, Message{From: server, To: from, Size: respSize, Payload: resp, Span: reqSpan}, wire)
 				done()
 			})
 		})

@@ -319,6 +319,7 @@ func Classification() *core.Classification {
 		AnalysisTools:     true,
 		DataFormat:        core.FormatHumanReadable,
 		AccountsSkewDrift: "No",
+		CrossLayerSlicing: true, // path metadata crosses layer boundaries by design
 		ElapsedOverhead: core.OverheadReport{
 			Measured:    false,
 			Description: "negligible per-event cost; instrumentation effort instead",

@@ -64,12 +64,13 @@ func (c *Client) Open(p *sim.Proc, path string, flags vfs.OpenFlag, mode int, cr
 		// below occupy the same schedule slots the "pfs.trunc" spawn
 		// dispatches did); the caller parks until every server confirmed.
 		wg := sim.NewWaitGroup(c.sys.env)
+		span := p.Span() // captured: the After(0) closures run off-process
 		for i := 0; i < c.sys.cfg.Servers; i++ {
 			node := c.sys.ServerNode(i)
 			wg.Add(1)
 			c.sys.env.After(0, func() {
-				c.sys.net.CallThen(c.node, node, Port, reqHeader,
-					truncReq{Path: path}, func(any) { wg.Done() })
+				c.sys.net.CallThenSpan(c.node, node, Port, reqHeader,
+					truncReq{Path: path}, span, func(any) { wg.Done() })
 			})
 		}
 		wg.Wait(p)
@@ -135,6 +136,7 @@ func (f *clientFile) transfer(p *sim.Proc, offset, length int64, write bool) (in
 	var total int64
 	var firstErr error
 	wg := sim.NewWaitGroup(sys.env)
+	span := p.Span() // captured: the After(0) closures run off-process
 	for srv := 0; srv < sys.cfg.Servers; srv++ {
 		ranges := grouped[srv]
 		if len(ranges) == 0 {
@@ -151,8 +153,8 @@ func (f *clientFile) transfer(p *sim.Proc, offset, length int64, write bool) (in
 		}
 		wg.Add(1)
 		sys.env.After(0, func() {
-			sys.net.CallThen(f.client.node, node, Port, reqSize,
-				ioReq{Path: f.path, Ranges: ranges, Write: write}, func(raw any) {
+			sys.net.CallThenSpan(f.client.node, node, Port, reqSize,
+				ioReq{Path: f.path, Ranges: ranges, Write: write}, span, func(raw any) {
 					defer wg.Done()
 					resp, ok := raw.(ioResp)
 					if !ok {

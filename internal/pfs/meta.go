@@ -4,6 +4,7 @@ import (
 	"iotaxo/internal/disk"
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 // metaFile is the metadata server's record of one file.
@@ -46,13 +47,14 @@ func (m *metaServer) start() { m.armServe() }
 func (m *metaServer) armServe() {
 	m.inbox.GetThen(func(msg netsim.Message) {
 		m.Requests++
+		reqSpan := msg.Span
 		raw, respond := m.sys.net.ServeRequestThen(m.sys.mdsNode, msg)
 		req, ok := raw.(metaReq)
 		if !ok {
 			respond(reqHeader, metaResp{Err: "pfs: bad metadata request"}, m.armServe)
 			return
 		}
-		m.handleThen(req, func(resp metaResp) {
+		m.handleThen(req, reqSpan, func(resp metaResp) {
 			respond(reqHeader, resp, m.armServe)
 		})
 	})
@@ -65,7 +67,29 @@ const oTrunc = 0x200
 // CPU cost first (one scheduled event, where the retired handler slept),
 // then the namespace mutation with journal writes chained through the
 // journal disk.
-func (m *metaServer) handleThen(req metaReq, done func(metaResp)) {
+func (m *metaServer) handleThen(req metaReq, parent uint64, done func(metaResp)) {
+	// Unconditional span allocation (pure counter), tracer-gated emission:
+	// the PFS_meta_* record covers the whole request including the fixed
+	// CPU cost and any journal writes.
+	span := m.sys.env.NextSpanID()
+	start := m.sys.env.Now()
+	inner := done
+	done = func(resp metaResp) {
+		if m.sys.tracer != nil {
+			ret := "0"
+			if resp.Err != "" {
+				ret = "-1 " + resp.Err
+			}
+			m.sys.tracer(&trace.Record{
+				Time: start, Dur: m.sys.env.Now() - start,
+				Node: m.sys.mdsNode, Rank: -1,
+				Class: trace.ClassPFSOp, Name: "PFS_meta_" + req.Op,
+				Ret: ret, Path: req.Path,
+				Span: span, Parent: parent,
+			})
+		}
+		inner(resp)
+	}
 	cost := m.sys.cfg.MetaCost
 	if cost < 0 {
 		cost = 0 // mirror Sleep's clamp

@@ -17,6 +17,7 @@ import (
 	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 // Port is the network port the PFS protocol listens on.
@@ -102,6 +103,21 @@ type System struct {
 	mdsNode string
 	servers []*server
 	meta    *metaServer
+
+	// tracer, when set, receives one ClassPFSOp record per served request
+	// (data servers and the metadata server alike).
+	tracer func(*trace.Record)
+}
+
+// SetTracer installs (or, with nil fn, removes) a request tracer on the
+// deployment. The same sink is also installed as the DISK tracer on every
+// object server's RAID group, labelled with the owning server's node, so one
+// call arms the two deepest layers of the causal chain.
+func (s *System) SetTracer(fn func(*trace.Record)) {
+	s.tracer = fn
+	for _, srv := range s.servers {
+		srv.array.SetTracer(srv.node, fn)
+	}
 }
 
 // New builds and starts a deployment. Node names are derived from cfg.Name

@@ -5,6 +5,7 @@ import (
 	"iotaxo/internal/fnvhash"
 	"iotaxo/internal/netsim"
 	"iotaxo/internal/sim"
+	"iotaxo/internal/trace"
 )
 
 // Wire protocol request/response types. Payloads travel by reference inside
@@ -100,10 +101,11 @@ func (s *server) start() { s.armDispatch() }
 func (s *server) armDispatch() {
 	s.inbox.GetThen(func(msg netsim.Message) {
 		s.Requests++
+		reqSpan := msg.Span
 		req, respond := s.sys.net.ServeRequestThen(s.node, msg)
 		s.sys.env.After(0, func() {
 			s.pool.AcquireThen(func() {
-				s.handleThen(req, respond, s.pool.Release)
+				s.handleThen(req, reqSpan, respond, s.pool.Release)
 			})
 		})
 		s.armDispatch()
@@ -113,10 +115,35 @@ func (s *server) armDispatch() {
 // handleThen services one request while holding a pool unit; done releases
 // it once the response has fully left the server's NIC (the same point the
 // retired worker's deferred Release ran).
-func (s *server) handleThen(req any, respond func(int64, any, func()), done func()) {
+func (s *server) handleThen(req any, parent uint64, respond func(int64, any, func()), done func()) {
+	// Span allocation is unconditional (pure counter, schedule-neutral);
+	// record emission stays tracer-gated.
+	span := s.sys.env.NextSpanID()
+	start := s.sys.env.Now()
 	switch r := req.(type) {
 	case ioReq:
-		s.handleIOThen(r, func(n int64, err error) {
+		s.handleIOThen(r, span, func(n int64, err error) {
+			if s.sys.tracer != nil {
+				name := "PFS_read"
+				if r.Write {
+					name = "PFS_write"
+				}
+				ret := "0"
+				if err != nil {
+					ret = "-1 " + err.Error()
+				}
+				var off int64
+				if len(r.Ranges) > 0 {
+					off = s.sys.logicalOffset(s.idx, r.Ranges[0].phys)
+				}
+				s.sys.tracer(&trace.Record{
+					Time: start, Dur: s.sys.env.Now() - start,
+					Node: s.node, Rank: -1,
+					Class: trace.ClassPFSOp, Name: name, Ret: ret,
+					Path: r.Path, Offset: off, Bytes: n,
+					Span: span, Parent: parent,
+				})
+			}
 			resp := ioResp{N: n}
 			if err != nil {
 				resp.Err = err.Error()
@@ -129,6 +156,13 @@ func (s *server) handleThen(req any, respond func(int64, any, func()), done func
 		})
 	case truncReq:
 		delete(s.objects, r.Path)
+		if s.sys.tracer != nil {
+			s.sys.tracer(&trace.Record{
+				Time: start, Dur: 0, Node: s.node, Rank: -1,
+				Class: trace.ClassPFSOp, Name: "PFS_trunc", Ret: "0",
+				Path: r.Path, Span: span, Parent: parent,
+			})
+		}
 		respond(reqHeader, ioResp{}, done)
 	default:
 		respond(reqHeader, ioResp{Err: "pfs: bad request"}, done)
@@ -139,7 +173,7 @@ func (s *server) handleThen(req any, respond func(int64, any, func()), done func
 // mirroring the retired worker's loop: digest state updates after each write
 // completes, reads clamp against the object's physical end as it stands when
 // the range is reached, and the first error aborts the remaining ranges.
-func (s *server) handleIOThen(r ioReq, done func(int64, error)) {
+func (s *server) handleIOThen(r ioReq, span uint64, done func(int64, error)) {
 	st, ok := s.objects[r.Path]
 	if !ok {
 		st = &objState{}
@@ -153,7 +187,7 @@ func (s *server) handleIOThen(r ioReq, done func(int64, error)) {
 			rg := r.Ranges[i]
 			next := i + 1
 			if r.Write {
-				s.array.WriteThen(base+rg.phys, rg.length, func(err error) {
+				s.array.WriteThenSpan(base+rg.phys, rg.length, span, func(err error) {
 					if err != nil {
 						done(total, err)
 						return
@@ -172,7 +206,7 @@ func (s *server) handleIOThen(r ioReq, done func(int64, error)) {
 				length = st.physEnd - rg.phys
 			}
 			add := length
-			s.array.ReadThen(base+rg.phys, length, func(err error) {
+			s.array.ReadThenSpan(base+rg.phys, length, span, func(err error) {
 				if err != nil {
 					done(total, err)
 					return

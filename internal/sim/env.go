@@ -27,6 +27,11 @@ type Env struct {
 	running bool
 	stopped bool
 	nextPID int
+
+	// nextSpan backs NextSpanID. It is a pure counter with no effect on
+	// virtual time, the event queue, or the rng, so allocating spans cannot
+	// perturb a schedule: traced and untraced runs stay byte-identical.
+	nextSpan uint64
 }
 
 // NewEnv returns an environment whose random source is seeded with seed.
@@ -76,6 +81,14 @@ func (e *Env) TotalSpawned() int {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// NextSpanID allocates a fresh causal span identifier. IDs start at 1 and
+// increase monotonically; 0 means "no span". Allocation touches nothing but
+// the counter, so it is schedule-neutral.
+func (e *Env) NextSpanID() uint64 {
+	e.nextSpan++
+	return e.nextSpan
+}
 
 // Rand returns the environment's deterministic random source.
 func (e *Env) Rand() *rand.Rand { return e.rng }

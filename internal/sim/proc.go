@@ -23,6 +23,12 @@ type Proc struct {
 	// simulator's hottest path (hundreds of wake events per rank) from
 	// allocating a fresh closure per event.
 	dispatchFn func()
+
+	// span is the causal span the process is currently executing under
+	// (0 = none). Layers that start a child operation save the old value,
+	// install their own span, and restore on return, so records emitted by
+	// lower layers can name their parent.
+	span uint64
 }
 
 // Go spawns fn as a new simulated process starting at the current virtual
@@ -97,6 +103,18 @@ func (p *Proc) Name() string { return p.name }
 
 // PID returns the process's unique id within its environment.
 func (p *Proc) PID() int { return p.pid }
+
+// Span returns the causal span the process is currently executing under
+// (0 = none).
+func (p *Proc) Span() uint64 { return p.span }
+
+// SetSpan installs a causal span as the process's current context and
+// returns the previous one so callers can restore it.
+func (p *Proc) SetSpan(s uint64) (prev uint64) {
+	prev = p.span
+	p.span = s
+	return prev
+}
 
 // Sleep suspends the process for d nanoseconds of virtual time. Negative
 // durations sleep zero time but still yield to the scheduler.

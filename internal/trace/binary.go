@@ -30,6 +30,7 @@ var binaryMagic = [8]byte{'I', 'O', 'T', 'X', 'B', 'I', 'N', '1'}
 const (
 	FlagCompressed byte = 1 << iota
 	FlagAnonymized      // set by anonymization passes for provenance
+	FlagSpans           // records carry trailing Span/Parent fields
 )
 
 // ErrCorrupt is returned when a block fails its CRC or framing check.
@@ -39,7 +40,8 @@ var ErrCorrupt = errors.New("trace: corrupt binary trace")
 type BinaryOptions struct {
 	Compress        bool
 	Anonymized      bool
-	RecordsPerBlock int // flush threshold; <=0 means 512
+	Spans           bool // encode Span/Parent fields (sets FlagSpans)
+	RecordsPerBlock int  // flush threshold; <=0 means 512
 }
 
 // BinaryWriter encodes records into the binary format.
@@ -75,6 +77,9 @@ func (b *BinaryWriter) writeHeader() {
 	if b.opts.Anonymized {
 		flags |= FlagAnonymized
 	}
+	if b.opts.Spans {
+		flags |= FlagSpans
+	}
 	hdr := append(binaryMagic[:], flags)
 	n, err := b.w.Write(hdr)
 	b.n += int64(n)
@@ -87,7 +92,7 @@ func (b *BinaryWriter) Write(r *Record) error {
 		return b.err
 	}
 	b.writeHeader()
-	encodeRecord(&b.buf, r)
+	encodeRecord(&b.buf, r, b.opts.Spans)
 	b.inBlock++
 	if b.inBlock >= b.opts.RecordsPerBlock {
 		return b.Flush()
@@ -168,7 +173,7 @@ func putString(buf *bytes.Buffer, s string) {
 	buf.WriteString(s)
 }
 
-func encodeRecord(buf *bytes.Buffer, r *Record) {
+func encodeRecord(buf *bytes.Buffer, r *Record, spans bool) {
 	putVarint(buf, int64(r.Time))
 	putVarint(buf, int64(r.Dur))
 	putString(buf, r.Node)
@@ -186,9 +191,13 @@ func encodeRecord(buf *bytes.Buffer, r *Record) {
 	putVarint(buf, r.Bytes)
 	putVarint(buf, int64(r.UID))
 	putVarint(buf, int64(r.GID))
+	if spans {
+		putUvarint(buf, r.Span)
+		putUvarint(buf, r.Parent)
+	}
 }
 
-func decodeRecord(br *bytes.Reader) (Record, error) {
+func decodeRecord(br *bytes.Reader, spans bool) (Record, error) {
 	var r Record
 	readV := func() (int64, error) { return binary.ReadVarint(br) }
 	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -272,6 +281,14 @@ func decodeRecord(br *bytes.Reader) (Record, error) {
 		return r, err
 	}
 	r.GID = int(v)
+	if spans {
+		if r.Span, err = readU(); err != nil {
+			return r, err
+		}
+		if r.Parent, err = readU(); err != nil {
+			return r, err
+		}
+	}
 	return r, nil
 }
 
@@ -352,7 +369,7 @@ func (b *BinaryReader) Next() (Record, error) {
 			return Record{}, err
 		}
 	}
-	rec, err := decodeRecord(b.block)
+	rec, err := decodeRecord(b.block, b.flags&FlagSpans != 0)
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
 	}

@@ -54,6 +54,10 @@ const (
 	blockIndex byte = 1
 )
 
+// indexStatsV1 tags the footer-index extension carrying per-block
+// offset/bytes/span min/max statistics.
+const indexStatsV1 byte = 1
+
 const (
 	columnarHeaderLen = 9  // magic + flags
 	blockHeaderLen    = 40 // fixed-width block header
@@ -78,8 +82,10 @@ const (
 	colBytes    byte = 13 // varint
 	colUIDs     byte = 14 // varint
 	colGIDs     byte = 15 // varint, relative to the row's uid (gid == uid in practice, so the column is zeros)
+	colSpans    byte = 16 // delta varint; present only when the block has spans
+	colParents  byte = 17 // delta varint; present only when the block has spans
 
-	maxColID = 15
+	maxColID = 17
 )
 
 // DefaultColumnarRecordsPerBlock is the v2 block size. Larger than v1's 512
@@ -109,6 +115,18 @@ type BlockMeta struct {
 	MaxRank   int
 	ClassMask uint8 // bit i set: block contains EventClass(i)
 	DirMask   uint8 // bit i set: block contains IODir(i)
+
+	// Extended per-block statistics, carried in a versioned footer-index
+	// extension appended after the legacy entries. Files written before the
+	// extension existed parse with HasStats == false: such blocks can be
+	// neither pruned nor wholly contained by offset/bytes/span predicates.
+	HasStats  bool
+	MinOffset int64
+	MaxOffset int64
+	MinBytes  int64
+	MaxBytes  int64
+	MinSpan   uint64
+	MaxSpan   uint64
 }
 
 // blockEncoder accumulates one block's columns incrementally; records are
@@ -121,11 +139,20 @@ type blockEncoder struct {
 	maxTime   sim.Time
 	minRank   int
 	maxRank   int
+	minOffset int64
+	maxOffset int64
+	minBytes  int64
+	maxBytes  int64
+	minSpan   uint64
+	maxSpan   uint64
+	hasSpan   bool // any record carries a nonzero Span/Parent
 
 	prevTime   int64
 	prevRank   int64
 	prevPID    int64
 	prevOffset int64
+	prevSpan   int64
+	prevParent int64
 
 	dict map[string]uint64
 	// argSeen counts inline emissions of numeric args not yet interned: a
@@ -149,6 +176,8 @@ type blockEncoder struct {
 	bytesCol bytes.Buffer
 	uids     bytes.Buffer
 	gids     bytes.Buffer
+	spans    bytes.Buffer
+	parents  bytes.Buffer
 }
 
 // idx interns s in the block dictionary and returns its index.
@@ -199,6 +228,9 @@ func (e *blockEncoder) add(r *Record) error {
 	if e.count == 0 {
 		e.minTime, e.maxTime = r.Time, r.Time
 		e.minRank, e.maxRank = r.Rank, r.Rank
+		e.minOffset, e.maxOffset = r.Offset, r.Offset
+		e.minBytes, e.maxBytes = r.Bytes, r.Bytes
+		e.minSpan, e.maxSpan = r.Span, r.Span
 	} else {
 		if r.Time < e.minTime {
 			e.minTime = r.Time
@@ -212,6 +244,27 @@ func (e *blockEncoder) add(r *Record) error {
 		if r.Rank > e.maxRank {
 			e.maxRank = r.Rank
 		}
+		if r.Offset < e.minOffset {
+			e.minOffset = r.Offset
+		}
+		if r.Offset > e.maxOffset {
+			e.maxOffset = r.Offset
+		}
+		if r.Bytes < e.minBytes {
+			e.minBytes = r.Bytes
+		}
+		if r.Bytes > e.maxBytes {
+			e.maxBytes = r.Bytes
+		}
+		if r.Span < e.minSpan {
+			e.minSpan = r.Span
+		}
+		if r.Span > e.maxSpan {
+			e.maxSpan = r.Span
+		}
+	}
+	if r.Span != 0 || r.Parent != 0 {
+		e.hasSpan = true
 	}
 	e.classMask |= 1 << uint(r.Class)
 	e.dirMask |= 1 << uint(dir)
@@ -249,6 +302,10 @@ func (e *blockEncoder) add(r *Record) error {
 	putVarint(&e.bytesCol, r.Bytes)
 	putVarint(&e.uids, int64(r.UID))
 	putVarint(&e.gids, int64(r.GID)-int64(r.UID))
+	putVarint(&e.spans, int64(r.Span)-e.prevSpan)
+	e.prevSpan = int64(r.Span)
+	putVarint(&e.parents, int64(r.Parent)-e.prevParent)
+	e.prevParent = int64(r.Parent)
 	e.count++
 	return nil
 }
@@ -280,6 +337,12 @@ func (e *blockEncoder) payload() []byte {
 	section(colBytes, e.bytesCol.Bytes())
 	section(colUIDs, e.uids.Bytes())
 	section(colGIDs, e.gids.Bytes())
+	// Span columns ride only in blocks that have spans, so span-less streams
+	// produce block payloads byte-identical to writers that predate them.
+	if e.hasSpan {
+		section(colSpans, e.spans.Bytes())
+		section(colParents, e.parents.Bytes())
+	}
 	return out.Bytes()
 }
 
@@ -434,6 +497,13 @@ func (c *ColumnarWriter) Flush() error {
 		MaxRank:   c.enc.maxRank,
 		ClassMask: c.enc.classMask,
 		DirMask:   c.enc.dirMask,
+		HasStats:  true,
+		MinOffset: c.enc.minOffset,
+		MaxOffset: c.enc.maxOffset,
+		MinBytes:  c.enc.minBytes,
+		MaxBytes:  c.enc.maxBytes,
+		MinSpan:   c.enc.minSpan,
+		MaxSpan:   c.enc.maxSpan,
 	}
 	payload := c.enc.payload()
 	c.enc.reset()
@@ -525,6 +595,20 @@ func (c *ColumnarWriter) Close() error {
 		agg.ClassMask |= m.ClassMask
 		agg.DirMask |= m.DirMask
 	}
+	// Versioned extension after the legacy entries: per-block min/max for
+	// Offset, Bytes, and Span, enabling offset/bytes/span predicate pushdown.
+	// Files written before the extension end exactly at the legacy entries,
+	// so the parser treats zero trailing bytes as "no stats" (HasStats false)
+	// and an unknown version byte as an ignorable future extension.
+	payload.WriteByte(indexStatsV1)
+	for _, m := range c.index {
+		putVarint(&payload, m.MinOffset)
+		putUvarint(&payload, uint64(m.MaxOffset-m.MinOffset))
+		putVarint(&payload, m.MinBytes)
+		putUvarint(&payload, uint64(m.MaxBytes-m.MinBytes))
+		putUvarint(&payload, m.MinSpan)
+		putUvarint(&payload, m.MaxSpan-m.MinSpan)
+	}
 	hdr := packBlockHeader(blockIndex, agg, payload.Len(), 0)
 	binary.LittleEndian.PutUint32(hdr[12:], blockCRC(hdr[:], payload.Bytes()))
 	var trailer [trailerLen]byte
@@ -590,6 +674,40 @@ func parseIndexPayload(payload []byte, firstOffset, limit int64) ([]BlockMeta, e
 	}
 	if off != limit {
 		return nil, fmt.Errorf("%w: index does not cover data blocks", ErrCorrupt)
+	}
+	if br.Len() == 0 {
+		return metas, nil // pre-extension file: no per-block stats
+	}
+	ver, _ := br.ReadByte()
+	if ver != indexStatsV1 {
+		return metas, nil // future extension: stats unusable, but the file is fine
+	}
+	for i := range metas {
+		m := &metas[i]
+		u := func() uint64 {
+			v, e := binary.ReadUvarint(br)
+			if e != nil {
+				err = e
+			}
+			return v
+		}
+		v := func() int64 {
+			v, e := binary.ReadVarint(br)
+			if e != nil {
+				err = e
+			}
+			return v
+		}
+		m.MinOffset = v()
+		m.MaxOffset = m.MinOffset + int64(u())
+		m.MinBytes = v()
+		m.MaxBytes = m.MinBytes + int64(u())
+		m.MinSpan = u()
+		m.MaxSpan = m.MinSpan + u()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated index stats", ErrCorrupt)
+		}
+		m.HasStats = true
 	}
 	if br.Len() != 0 {
 		return nil, fmt.Errorf("%w: trailing bytes in index block", ErrCorrupt)

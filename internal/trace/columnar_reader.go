@@ -182,6 +182,13 @@ type Query struct {
 	// Classes is a bitmask over EventClass (bit i = EventClass(i)); zero
 	// means every class.
 	Classes uint8
+
+	// Stats predicates, pruned via the footer index's per-block min/max
+	// statistics. Blocks from files written before the stats extension
+	// (HasStats == false) are conservatively decoded.
+	OffsetMin, OffsetMax int64
+	BytesMin             int64
+	SpanMin, SpanMax     uint64
 }
 
 // MatchAll returns the query matching every record.
@@ -189,6 +196,9 @@ func MatchAll() Query {
 	return Query{
 		TimeMin: sim.Time(math.MinInt64), TimeMax: sim.Time(math.MaxInt64),
 		RankMin: math.MinInt32, RankMax: math.MaxInt32,
+		OffsetMin: math.MinInt64, OffsetMax: math.MaxInt64,
+		BytesMin: math.MinInt64,
+		SpanMin:  0, SpanMax: math.MaxUint64,
 	}
 }
 
@@ -212,6 +222,32 @@ func (q Query) WithClasses(cs ...EventClass) Query {
 	return q
 }
 
+// WithOffsetRange restricts the query to records with lo <= Offset <= hi.
+func (q Query) WithOffsetRange(lo, hi int64) Query {
+	q.OffsetMin, q.OffsetMax = lo, hi
+	return q
+}
+
+// WithMinBytes restricts the query to records moving at least n bytes.
+func (q Query) WithMinBytes(n int64) Query {
+	q.BytesMin = n
+	return q
+}
+
+// WithSpanRange restricts the query to records with lo <= Span <= hi.
+func (q Query) WithSpanRange(lo, hi uint64) Query {
+	q.SpanMin, q.SpanMax = lo, hi
+	return q
+}
+
+// constrainsStats reports whether any stats predicate (offset/bytes/span) is
+// tighter than match-all.
+func (q Query) constrainsStats() bool {
+	return q.OffsetMin != math.MinInt64 || q.OffsetMax != math.MaxInt64 ||
+		q.BytesMin != math.MinInt64 ||
+		q.SpanMin != 0 || q.SpanMax != math.MaxUint64
+}
+
 // classOK reports whether the class passes the query's class set.
 func (q Query) classOK(c EventClass) bool {
 	return q.Classes == 0 || q.Classes&(1<<uint(c)) != 0
@@ -221,20 +257,54 @@ func (q Query) classOK(c EventClass) bool {
 // reference semantics every pushdown path must agree with.
 func (q Query) Matches(r *Record) bool {
 	return r.Time >= q.TimeMin && r.Time <= q.TimeMax &&
-		r.Rank >= q.RankMin && r.Rank <= q.RankMax && q.classOK(r.Class)
+		r.Rank >= q.RankMin && r.Rank <= q.RankMax && q.classOK(r.Class) &&
+		r.Offset >= q.OffsetMin && r.Offset <= q.OffsetMax &&
+		r.Bytes >= q.BytesMin &&
+		r.Span >= q.SpanMin && r.Span <= q.SpanMax
 }
 
-// MatchesBlock reports whether a block's index ranges can contain a
-// matching record; blocks failing it are skipped without being read.
-func (q Query) MatchesBlock(m BlockMeta) bool {
+// matchesLegacyBlock is the time/rank/class half of MatchesBlock — the
+// pruning available before the footer stats extension existed.
+func (q Query) matchesLegacyBlock(m BlockMeta) bool {
 	return m.MaxTime >= q.TimeMin && m.MinTime <= q.TimeMax &&
 		m.MaxRank >= q.RankMin && m.MinRank <= q.RankMax &&
 		(q.Classes == 0 || q.Classes&m.ClassMask != 0)
 }
 
+// MatchesBlock reports whether a block's index ranges can contain a
+// matching record; blocks failing it are skipped without being read. Blocks
+// without stats (pre-extension files) are never pruned by stats predicates.
+func (q Query) MatchesBlock(m BlockMeta) bool {
+	if !q.matchesLegacyBlock(m) {
+		return false
+	}
+	if m.HasStats {
+		if m.MaxOffset < q.OffsetMin || m.MinOffset > q.OffsetMax {
+			return false
+		}
+		if m.MaxBytes < q.BytesMin {
+			return false
+		}
+		if m.MaxSpan < q.SpanMin || m.MinSpan > q.SpanMax {
+			return false
+		}
+	}
+	return true
+}
+
 // containsBlock reports whether every record in the block matches, letting
 // the scan skip even the filter-column decode.
 func (q Query) containsBlock(m BlockMeta) bool {
+	if q.constrainsStats() {
+		if !m.HasStats {
+			return false
+		}
+		if m.MinOffset < q.OffsetMin || m.MaxOffset > q.OffsetMax ||
+			m.MinBytes < q.BytesMin ||
+			m.MinSpan < q.SpanMin || m.MaxSpan > q.SpanMax {
+			return false
+		}
+	}
 	return m.MinTime >= q.TimeMin && m.MaxTime <= q.TimeMax &&
 		m.MinRank >= q.RankMin && m.MaxRank <= q.RankMax &&
 		(q.Classes == 0 || m.ClassMask&^q.Classes == 0)
@@ -328,6 +398,9 @@ type ScanStats struct {
 	BlocksDecoded  int   // blocks read and decoded for this query
 	RecordsMatched int64 // rows passing the full predicate
 	BytesRead      int64 // file bytes fetched
+	// BlocksPrunedByStats counts blocks the legacy time/rank/class pruning
+	// would have decoded but the footer offset/bytes/span statistics skipped.
+	BlocksPrunedByStats int
 }
 
 // scanJob is one matched block moving through the scan pool.
@@ -373,6 +446,8 @@ func (c *ColumnarReader) newScanEngine(q Query, workers int, materialize bool) *
 	for _, m := range c.index {
 		if q.MatchesBlock(m) {
 			matched = append(matched, m)
+		} else if q.matchesLegacyBlock(m) {
+			e.stats.BlocksPrunedByStats++
 		}
 	}
 	e.stats.BlocksTotal = len(c.index)
@@ -490,13 +565,40 @@ func matchRows(v *BlockView, m BlockMeta, q Query) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Stats filter columns decode only when the query constrains them.
+	var offsets, bytesc, spans []int64
+	if q.OffsetMin != math.MinInt64 || q.OffsetMax != math.MaxInt64 {
+		if offsets, err = v.Offsets(); err != nil {
+			return nil, err
+		}
+	}
+	if q.BytesMin != math.MinInt64 {
+		if bytesc, err = v.Bytes(); err != nil {
+			return nil, err
+		}
+	}
+	if q.SpanMin != 0 || q.SpanMax != math.MaxUint64 {
+		if spans, err = v.Spans(); err != nil {
+			return nil, err
+		}
+	}
 	var rows []int
 	for i := 0; i < v.Len(); i++ {
-		if sim.Time(times[i]) >= q.TimeMin && sim.Time(times[i]) <= q.TimeMax &&
-			int(ranks[i]) >= q.RankMin && int(ranks[i]) <= q.RankMax &&
-			q.classOK(classes[i]) {
-			rows = append(rows, i)
+		if sim.Time(times[i]) < q.TimeMin || sim.Time(times[i]) > q.TimeMax ||
+			int(ranks[i]) < q.RankMin || int(ranks[i]) > q.RankMax ||
+			!q.classOK(classes[i]) {
+			continue
 		}
+		if offsets != nil && (offsets[i] < q.OffsetMin || offsets[i] > q.OffsetMax) {
+			continue
+		}
+		if bytesc != nil && bytesc[i] < q.BytesMin {
+			continue
+		}
+		if spans != nil && (uint64(spans[i]) < q.SpanMin || uint64(spans[i]) > q.SpanMax) {
+			continue
+		}
+		rows = append(rows, i)
 	}
 	return rows, nil
 }

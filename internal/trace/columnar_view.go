@@ -34,6 +34,8 @@ type BlockView struct {
 	bytesc  []int64
 	uids    []int64
 	gids    []int64
+	spans   []int64
+	parents []int64
 
 	nodes []string
 	names []string
@@ -197,6 +199,28 @@ func (v *BlockView) Bytes() ([]int64, error) { return v.ints(colBytes, false, &v
 // UIDs returns the uid column.
 func (v *BlockView) UIDs() ([]int64, error) { return v.ints(colUIDs, false, &v.uids) }
 
+// Spans returns the causal-span column. Blocks written without spans omit
+// the section; those decode as all zeros ("no span") rather than erroring,
+// so span-less and pre-span traces stay readable.
+func (v *BlockView) Spans() ([]int64, error) { return v.optInts(colSpans, &v.spans) }
+
+// Parents returns the parent-span column, with the same tolerance for
+// span-less blocks as Spans.
+func (v *BlockView) Parents() ([]int64, error) { return v.optInts(colParents, &v.parents) }
+
+// optInts decodes an optional delta-varint column, synthesizing zeros when
+// the writer omitted the section.
+func (v *BlockView) optInts(id byte, cache *[]int64) ([]int64, error) {
+	if *cache != nil {
+		return *cache, nil
+	}
+	if v.secs[id] == nil {
+		*cache = make([]int64, v.count)
+		return *cache, nil
+	}
+	return v.ints(id, true, cache)
+}
+
 // GIDs returns the gid column, decoded relative to the uid column.
 func (v *BlockView) GIDs() ([]int64, error) {
 	if v.gids != nil {
@@ -338,6 +362,8 @@ func (v *BlockView) decodeAll() error {
 		func() error { _, err := v.Bytes(); return err },
 		func() error { _, err := v.UIDs(); return err },
 		func() error { _, err := v.GIDs(); return err },
+		func() error { _, err := v.Spans(); return err },
+		func() error { _, err := v.Parents(); return err },
 	} {
 		if err := f(); err != nil {
 			return err
@@ -374,6 +400,8 @@ func (v *BlockView) Record(i int) (Record, error) {
 		Bytes:  v.bytesc[i],
 		UID:    int(v.uids[i]),
 		GID:    int(v.gids[i]),
+		Span:   uint64(v.spans[i]),
+		Parent: uint64(v.parents[i]),
 	}, nil
 }
 

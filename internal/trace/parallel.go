@@ -131,6 +131,9 @@ func (p *ParallelBinaryWriter) committer(w io.Writer) {
 	if p.opts.Anonymized {
 		flags |= FlagAnonymized
 	}
+	if p.opts.Spans {
+		flags |= FlagSpans
+	}
 	hdr := append(binaryMagic[:], flags)
 	n, err := w.Write(hdr)
 	p.mu.Lock()
@@ -176,7 +179,7 @@ func (p *ParallelBinaryWriter) Write(r *Record) error {
 	if err := p.sticky(); err != nil {
 		return err
 	}
-	encodeRecord(&p.buf, r)
+	encodeRecord(&p.buf, r, p.opts.Spans)
 	p.inBlock++
 	if p.inBlock >= p.opts.RecordsPerBlock {
 		p.submit()
@@ -297,8 +300,9 @@ func NewParallelBinaryReader(r io.Reader, workers int) *ParallelBinaryReader {
 		return p
 	}
 	compressed := p.flags&FlagCompressed != 0
+	spans := p.flags&FlagSpans != 0
 	for i := 0; i < workers; i++ {
-		go p.worker(compressed)
+		go p.worker(compressed, spans)
 	}
 	go p.fetch(r)
 	return p
@@ -359,14 +363,14 @@ func (p *ParallelBinaryReader) deliverErr(err error) {
 
 // worker decodes blocks, reusing one flate decompressor and one scratch
 // buffer across all of them.
-func (p *ParallelBinaryReader) worker(compressed bool) {
+func (p *ParallelBinaryReader) worker(compressed, spans bool) {
 	var fr io.ReadCloser
 	var db bytes.Buffer
 	if compressed {
 		fr = flate.NewReader(bytes.NewReader(nil))
 	}
 	for job := range p.jobs {
-		job.recs, job.err = decodeBlock(job.payload, fr, &db)
+		job.recs, job.err = decodeBlock(job.payload, fr, &db, spans)
 		job.payload = nil
 		close(job.ready)
 	}
@@ -376,7 +380,7 @@ func (p *ParallelBinaryReader) worker(compressed bool) {
 // expected CRC. fr is a reusable flate reader (nil for uncompressed
 // streams); db is reusable decompression scratch. The returned records do
 // not alias either.
-func decodeBlock(crcAndPayload []byte, fr io.ReadCloser, db *bytes.Buffer) ([]Record, error) {
+func decodeBlock(crcAndPayload []byte, fr io.ReadCloser, db *bytes.Buffer, spans bool) ([]Record, error) {
 	want := binary.LittleEndian.Uint32(crcAndPayload[0:])
 	payload := crcAndPayload[4:]
 	if crc32.ChecksumIEEE(payload) != want {
@@ -395,7 +399,7 @@ func decodeBlock(crcAndPayload []byte, fr io.ReadCloser, db *bytes.Buffer) ([]Re
 	br := bytes.NewReader(payload)
 	var recs []Record
 	for br.Len() > 0 {
-		rec, err := decodeRecord(br)
+		rec, err := decodeRecord(br, spans)
 		if err != nil {
 			return recs, fmt.Errorf("%w: record decode: %v", ErrCorrupt, err)
 		}

@@ -34,6 +34,13 @@ const (
 	// including operations invisible at the syscall boundary such as
 	// memory-mapped writeback.
 	ClassFSOp
+	// ClassPFSOp is a parallel-file-system server-side operation (data or
+	// metadata request handling on an object or metadata server).
+	ClassPFSOp
+	// ClassNetMsg is a network message delivery between cluster nodes.
+	ClassNetMsg
+	// ClassDiskIO is a physical disk/RAID array access.
+	ClassDiskIO
 
 	numClasses
 )
@@ -49,6 +56,12 @@ func (c EventClass) String() string {
 		return "mpi"
 	case ClassFSOp:
 		return "fsop"
+	case ClassPFSOp:
+		return "pfsop"
+	case ClassNetMsg:
+		return "netmsg"
+	case ClassDiskIO:
+		return "diskio"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -65,6 +78,12 @@ func ParseClass(s string) (EventClass, error) {
 		return ClassMPI, nil
 	case "fsop":
 		return ClassFSOp, nil
+	case "pfsop":
+		return ClassPFSOp, nil
+	case "netmsg":
+		return ClassNetMsg, nil
+	case "diskio":
+		return ClassDiskIO, nil
 	}
 	return 0, fmt.Errorf("trace: unknown event class %q", s)
 }
@@ -91,7 +110,17 @@ type Record struct {
 	Bytes  int64
 	UID    int
 	GID    int
+
+	// Causal span identity: Span is this operation's own span id, Parent is
+	// the span of the operation that caused it (0 = none/unknown). Spans are
+	// allocated by sim.Env.NextSpanID and let cross-layer analyses join
+	// records exactly instead of by time-window correlation.
+	Span   uint64
+	Parent uint64
 }
+
+// HasSpan reports whether the record carries causal span identity.
+func (r *Record) HasSpan() bool { return r.Span != 0 || r.Parent != 0 }
 
 // IsIO reports whether the record moved file data.
 func (r *Record) IsIO() bool { return r.Bytes > 0 }
@@ -116,12 +145,12 @@ var (
 	readOps = map[string]struct{}{
 		"SYS_read": {}, "SYS_pread": {},
 		"MPI_File_read": {}, "MPI_File_read_at": {}, "MPI_File_read_at_all": {},
-		"VFS_read": {},
+		"VFS_read": {}, "PFS_read": {}, "DISK_read": {},
 	}
 	writeOps = map[string]struct{}{
 		"SYS_write": {}, "SYS_pwrite": {},
 		"MPI_File_write": {}, "MPI_File_write_at": {}, "MPI_File_write_at_all": {},
-		"VFS_write": {}, "VFS_writepage": {},
+		"VFS_write": {}, "VFS_writepage": {}, "PFS_write": {}, "DISK_write": {},
 	}
 )
 

@@ -178,24 +178,31 @@ func (pc *ProcCtx) syscall(p *sim.Proc, name string, args func() []string, body 
 	for _, h := range pc.hooks {
 		h.Enter(p, name)
 	}
+	// Unconditional span allocation (pure counter, schedule-neutral): child
+	// layers inherit the context even when only a deeper tracer is attached.
+	span := p.Env().NextSpanID()
+	parent := p.SetSpan(span)
 	start := p.Now()
 	p.Sleep(pc.kernel.cfg.SyscallCost)
 	ret, enrich := body()
 	dur := p.Now() - start
+	p.SetSpan(parent)
 	pc.kernel.SyscallCount++
 	if len(pc.hooks) > 0 {
 		rec := trace.Record{
-			Time:  pc.kernel.LocalTime(start),
-			Dur:   dur,
-			Node:  pc.kernel.node,
-			Rank:  pc.rank,
-			PID:   pc.pid,
-			Class: trace.ClassSyscall,
-			Name:  name,
-			Args:  args(),
-			Ret:   ret,
-			UID:   pc.cred.UID,
-			GID:   pc.cred.GID,
+			Time:   pc.kernel.LocalTime(start),
+			Dur:    dur,
+			Node:   pc.kernel.node,
+			Rank:   pc.rank,
+			PID:    pc.pid,
+			Class:  trace.ClassSyscall,
+			Name:   name,
+			Args:   args(),
+			Ret:    ret,
+			UID:    pc.cred.UID,
+			GID:    pc.cred.GID,
+			Span:   span,
+			Parent: parent,
 		}
 		if enrich != nil {
 			enrich(&rec)
